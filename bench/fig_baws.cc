@@ -1,0 +1,65 @@
+/**
+ * @file
+ * E10 — block-aware warp scheduling: BCS with GTO vs BCS with BAWS, and
+ * the block-size ablation (B=2 vs B=4). The paper's point: pairing CTAs
+ * on a core is not enough — the warp scheduler must keep the pair at
+ * even progress or the shared lines are evicted before reuse.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+
+    struct Variant
+    {
+        const char* label;
+        WarpSchedKind warp;
+        std::uint32_t block;
+    };
+    const std::vector<Variant> variants = {
+        {"bcs2+gto", WarpSchedKind::GTO, 2},
+        {"bcs2+baws", WarpSchedKind::BAWS, 2},
+        {"bcs4+gto", WarpSchedKind::GTO, 4},
+        {"bcs4+baws", WarpSchedKind::BAWS, 4},
+    };
+
+    std::printf("E10: BAWS on top of BCS (speedup over RR+GTO baseline)\n\n");
+    Table table("speedup by variant");
+    std::vector<std::string> header = {"workload"};
+    for (const auto& v : variants)
+        header.push_back(v.label);
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> speedups(variants.size());
+    for (const auto& name : localityWorkloadNames()) {
+        const KernelInfo kernel = makeWorkload(name);
+        const double base_ipc = runKernel(base, kernel).ipc;
+        std::vector<std::string> row = {name};
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            GpuConfig cfg = makeConfig(variants[v].warp,
+                                       CtaSchedKind::Block);
+            cfg.bcs.blockSize = variants[v].block;
+            const double s = runKernel(cfg, kernel).ipc / base_ipc;
+            speedups[v].push_back(s);
+            row.push_back(fmt(s, 3));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> last = {"geomean"};
+    for (auto& s : speedups)
+        last.push_back(fmt(geomean(s), 3));
+    table.addRow(last);
+    std::printf("%s", table.toText().c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * E9 — BCS on the inter-CTA-locality workloads: IPC speedup over the
+ * baseline scheduler and the L1D miss-rate reduction from landing
+ * consecutive CTAs on the same core. Shown with the plain GTO warp
+ * scheduler (BAWS is added in E10).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+    const GpuConfig bcs = makeConfig(WarpSchedKind::GTO,
+                                     CtaSchedKind::Block);
+
+    std::printf("E9: BCS (block size 2, GTO warps) on the locality "
+                "subset\n\n");
+    Table table("BCS vs baseline");
+    table.setHeader({"workload", "base-IPC", "bcs-IPC", "speedup",
+                     "base-L1miss%", "bcs-L1miss%"});
+    std::vector<double> speedups;
+    for (const auto& name : localityWorkloadNames()) {
+        const KernelInfo kernel = makeWorkload(name);
+        const RunResult a = runKernel(base, kernel);
+        const RunResult b = runKernel(bcs, kernel);
+        speedups.push_back(b.ipc / a.ipc);
+        table.addRow({name, fmt(a.ipc, 2), fmt(b.ipc, 2),
+                      fmt(b.ipc / a.ipc, 3), fmt(100 * a.l1MissRate(), 1),
+                      fmt(100 * b.l1MissRate(), 1)});
+    }
+    table.addRow({"geomean", "", "", fmt(geomean(speedups), 3), "", ""});
+    std::printf("%s\n", table.toText().c_str());
+
+    // Control group: non-locality workloads should be unaffected.
+    Table control("control (no inter-CTA locality)");
+    control.setHeader({"workload", "speedup"});
+    std::vector<double> control_speedups;
+    for (const std::string name : {"bp", "gemm", "kmeans", "nn"}) {
+        const KernelInfo kernel = makeWorkload(name);
+        const double s =
+            runKernel(bcs, kernel).ipc / runKernel(base, kernel).ipc;
+        control_speedups.push_back(s);
+        control.addRow({name, fmt(s, 3)});
+    }
+    control.addRow({"geomean", fmt(geomean(control_speedups), 3)});
+    std::printf("%s", control.toText().c_str());
+    return 0;
+}

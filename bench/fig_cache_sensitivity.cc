@@ -1,0 +1,51 @@
+/**
+ * @file
+ * E15 (sensitivity) — L1D capacity sweep: the type-3 effect and LCS's
+ * benefit should shrink as the L1 grows (more resident CTA working
+ * sets fit) and grow as it shrinks. Representative kernels from each
+ * class.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const std::vector<std::uint32_t> sizes = {8, 16, 32, 64};
+    const std::vector<std::string> names = {"kmeans", "sc", "gemm", "bp"};
+
+    std::printf("E15: L1D capacity sensitivity (LCS speedup over "
+                "baseline at each size)\n\n");
+    Table table("LCS speedup by L1D size");
+    std::vector<std::string> header = {"workload"};
+    for (auto kb : sizes)
+        header.push_back(std::to_string(kb) + "KB");
+    table.setHeader(header);
+
+    for (const auto& name : names) {
+        const KernelInfo kernel = makeWorkload(name);
+        std::vector<std::string> row = {name};
+        for (std::uint32_t kb : sizes) {
+            GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+            base.l1d.sizeBytes = kb * 1024;
+            GpuConfig lcs = base;
+            lcs.ctaSched = CtaSchedKind::Lazy;
+            const double s =
+                runKernel(lcs, kernel).ipc / runKernel(base, kernel).ipc;
+            row.push_back(fmt(s, 3));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Reading: the cache-sensitive (type-3) rows benefit most "
+                "at small L1 sizes;\nby 64KB every resident working set "
+                "fits and LCS is neutral.\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * E12 — composition summary: baseline, LCS, BCS+BAWS and LCS+BCS+BAWS
+ * across the whole suite (geomean speedup over the baseline). Shows the
+ * mechanisms compose: LCS carries the peaked workloads, BCS+BAWS the
+ * locality workloads, and the combination keeps both gains.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+
+    struct Variant
+    {
+        const char* label;
+        WarpSchedKind warp;
+        CtaSchedKind cta;
+    };
+    const std::vector<Variant> variants = {
+        {"lcs", WarpSchedKind::GTO, CtaSchedKind::Lazy},
+        {"bcs+baws", WarpSchedKind::BAWS, CtaSchedKind::Block},
+        {"lcs+bcs+baws", WarpSchedKind::BAWS, CtaSchedKind::LazyBlock},
+    };
+
+    std::printf("E12: combined mechanisms, whole suite (speedup over "
+                "RR+GTO baseline)\n\n");
+    Table table("composition");
+    table.setHeader({"workload", "type", "lcs", "bcs+baws",
+                     "lcs+bcs+baws"});
+    std::vector<std::vector<double>> speedups(variants.size());
+
+    for (const auto& name : workloadNames()) {
+        const KernelInfo kernel = makeWorkload(name);
+        const double base_ipc = runKernel(base, kernel).ipc;
+        std::vector<std::string> row = {name, toString(kernel.typeClass)};
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            const GpuConfig cfg = makeConfig(variants[v].warp,
+                                             variants[v].cta);
+            const double s = runKernel(cfg, kernel).ipc / base_ipc;
+            speedups[v].push_back(s);
+            row.push_back(fmt(s, 3));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> last = {"geomean", ""};
+    for (auto& s : speedups)
+        last.push_back(fmt(geomean(s), 3));
+    table.addRow(last);
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Reading: LCS carries the peaked (type-3) set, BCS+BAWS "
+                "the stencil set.\nInteraction note: the combination "
+                "inherits BCS's pairing bubbles on\nnon-locality kernels, "
+                "and BAWS's intra-block fairness weakens the greedy\n"
+                "issue skew LCS monitors, so the composition is not "
+                "strictly additive.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * E4 — per-CTA issue shares during the LCS monitoring window, under GTO
+ * and LRR. The LCS estimator assumes GTO concentrates issue on a greedy
+ * CTA; this figure shows the issue histogram is skewed under GTO and
+ * flat under LRR, which is why LCS mandates a greedy warp scheduler.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "harness/runner.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+/**
+ * Run @p name until the first CTA completes on core 0 and return the
+ * per-CTA issue counts of core 0 at that moment (the monitoring-window
+ * snapshot LCS sees).
+ */
+std::vector<std::uint64_t>
+monitorSnapshot(const std::string& name, bsched::WarpSchedKind sched)
+{
+    using namespace bsched;
+    const GpuConfig config = makeConfig(sched, CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = makeWorkload(name);
+    Gpu gpu(config);
+    gpu.launchKernel(kernel);
+    const SimtCore& core = *gpu.cores().front();
+    while (gpu.stepCycle()) {
+        const auto counts = core.ctaIssueCounts(0);
+        if (counts.size() > core.residentCtas(0))
+            return counts; // a CTA on core 0 has completed
+    }
+    return core.ctaIssueCounts(0);
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bsched;
+    const std::vector<std::string> names = {"kmeans", "sc", "bp", "gemm"};
+
+    std::printf("E4: per-CTA issue share on core 0 at the end of the "
+                "monitoring window\n(first CTA completion)\n\n");
+
+    for (const auto& name : names) {
+        for (const WarpSchedKind sched :
+             {WarpSchedKind::GTO, WarpSchedKind::LRR}) {
+            auto counts = monitorSnapshot(name, sched);
+            std::sort(counts.rbegin(), counts.rend());
+            std::uint64_t total = 0;
+            for (auto c : counts)
+                total += c;
+            std::vector<std::pair<std::string, double>> bars;
+            for (std::size_t i = 0; i < counts.size(); ++i) {
+                bars.emplace_back("cta#" + std::to_string(i),
+                                  total ? 100.0 * counts[i] / total : 0.0);
+            }
+            std::printf("%s", barChart(name + " / " + toString(sched) +
+                                       " (issue share %, I_total/I_greedy=" +
+                                       fmt(counts.empty() || !counts[0]
+                                           ? 0.0
+                                           : double(total) / counts[0], 2) +
+                                       ")", bars, 40, 1).c_str());
+            std::printf("\n");
+        }
+    }
+    std::printf("Reading: GTO concentrates issue on one greedy CTA "
+                "(skewed bars); LRR is flat.\nThe skew makes "
+                "I_total/I_greedy a usable estimate of the needed CTA "
+                "count.\n");
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * E14 (ablation) — the LCS estimator: the paper's issue-ratio formula
+ * N_opt = ceil(I_total/I_greedy) against the threshold variant that
+ * counts CTAs contributing >= 40% of the greedy CTA's issue. Both read
+ * only the monitored instruction counts; they differ in how they treat
+ * the long tail of barely-progressing CTAs.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+
+    std::printf("E14: LCS estimator ablation (speedup over baseline)\n\n");
+    Table table("issue-ratio vs threshold estimator");
+    table.setHeader({"workload", "issue-ratio", "threshold-40",
+                     "threshold-60"});
+    std::vector<std::vector<double>> speedups(3);
+    for (const auto& name : workloadNames()) {
+        const KernelInfo kernel = makeWorkload(name);
+        const double base_ipc = runKernel(base, kernel).ipc;
+        std::vector<std::string> row = {name};
+        int col = 0;
+        for (const auto& [est, pct] :
+             std::vector<std::pair<LcsEstimator, std::uint32_t>>{
+                 {LcsEstimator::IssueRatio, 0},
+                 {LcsEstimator::Threshold, 40},
+                 {LcsEstimator::Threshold, 60}}) {
+            GpuConfig cfg = makeConfig(WarpSchedKind::GTO,
+                                       CtaSchedKind::Lazy);
+            cfg.lcs.estimator = est;
+            if (pct)
+                cfg.lcs.thresholdPct = pct;
+            const double s = runKernel(cfg, kernel).ipc / base_ipc;
+            speedups[static_cast<std::size_t>(col++)].push_back(s);
+            row.push_back(fmt(s, 3));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> last = {"geomean"};
+    for (auto& s : speedups)
+        last.push_back(fmt(geomean(s), 3));
+    table.addRow(last);
+    std::printf("%s", table.toText().c_str());
+    return 0;
+}

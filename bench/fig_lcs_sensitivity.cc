@@ -1,0 +1,77 @@
+/**
+ * @file
+ * E8 — LCS monitoring-window sensitivity: geomean speedup over the
+ * baseline when the window ends at the first CTA completion (paper
+ * default) vs after fixed cycle counts. The estimator should be robust
+ * across reasonable windows.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+
+    struct Mode
+    {
+        std::string label;
+        LcsWindowMode mode;
+        Cycle window;
+    };
+    const std::vector<Mode> modes = {
+        {"first-cta-done", LcsWindowMode::FirstCtaDone, 0},
+        {"fixed-2k", LcsWindowMode::FixedCycles, 2000},
+        {"fixed-5k", LcsWindowMode::FixedCycles, 5000},
+        {"fixed-10k", LcsWindowMode::FixedCycles, 10000},
+        {"fixed-20k", LcsWindowMode::FixedCycles, 20000},
+    };
+
+    std::printf("E8: LCS monitoring-window sensitivity (speedup over "
+                "max-CTA baseline)\n\n");
+
+    // Baselines once per workload.
+    std::vector<double> base_ipc;
+    const auto names = workloadNames();
+    for (const auto& name : names)
+        base_ipc.push_back(runKernel(base, makeWorkload(name)).ipc);
+
+    Table table("speedup by monitoring window");
+    std::vector<std::string> header = {"workload"};
+    for (const auto& mode : modes)
+        header.push_back(mode.label);
+    table.setHeader(header);
+
+    std::vector<std::vector<double>> speedups(
+        modes.size(), std::vector<double>());
+    std::vector<std::vector<std::string>> rows;
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t m = 0; m < modes.size(); ++m) {
+            GpuConfig cfg = makeConfig(WarpSchedKind::GTO,
+                                       CtaSchedKind::Lazy);
+            cfg.lcs.windowMode = modes[m].mode;
+            cfg.lcs.fixedWindowCycles = modes[m].window;
+            const double s =
+                runKernel(cfg, makeWorkload(names[w])).ipc / base_ipc[w];
+            speedups[m].push_back(s);
+            row.push_back(fmt(s, 3));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> last = {"geomean"};
+    for (std::size_t m = 0; m < modes.size(); ++m)
+        last.push_back(fmt(geomean(speedups[m]), 3));
+    table.addRow(last);
+    std::printf("%s", table.toText().c_str());
+    return 0;
+}

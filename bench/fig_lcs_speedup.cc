@@ -1,0 +1,56 @@
+/**
+ * @file
+ * E6 — the LCS headline figure: per-workload speedup of LCS over the
+ * max-CTA baseline, alongside the oracle (best static per-core CTA
+ * limit). The paper's claim: LCS captures most of the oracle's gain on
+ * type-3 workloads while never hurting type-1/2.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+    const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
+                                     CtaSchedKind::Lazy);
+
+    std::printf("E6: LCS speedup over max-CTA baseline vs the static "
+                "oracle\n(GTO warp scheduler everywhere)\n\n");
+
+    Table table("speedup over baseline");
+    table.setHeader({"workload", "type", "base-IPC", "LCS", "oracle",
+                     "oracle-N"});
+    std::vector<double> lcs_speedups;
+    std::vector<double> oracle_speedups;
+    std::vector<std::pair<std::string, double>> bars;
+
+    for (const auto& name : workloadNames()) {
+        const KernelInfo kernel = makeWorkload(name);
+        const RunResult baseline = runKernel(base, kernel);
+        const RunResult lazy = runKernel(lcs, kernel);
+        const OracleResult oracle = oracleStaticBest(base, kernel);
+        const double s_lcs = lazy.ipc / baseline.ipc;
+        const double s_oracle =
+            oracle.byLimit[oracle.bestLimit - 1].ipc / baseline.ipc;
+        lcs_speedups.push_back(s_lcs);
+        oracle_speedups.push_back(s_oracle);
+        table.addRow({name, toString(kernel.typeClass),
+                      fmt(baseline.ipc, 2), fmt(s_lcs, 3), fmt(s_oracle, 3),
+                      std::to_string(oracle.bestLimit)});
+        bars.emplace_back(name, s_lcs);
+    }
+    table.addRow({"geomean", "", "", fmt(geomean(lcs_speedups), 3),
+                  fmt(geomean(oracle_speedups), 3), ""});
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("%s", barChart("LCS speedup over baseline", bars).c_str());
+    return 0;
+}

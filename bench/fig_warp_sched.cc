@@ -1,0 +1,43 @@
+/**
+ * @file
+ * E5 — warp-scheduler baseline: GTO vs LRR IPC across the suite. The
+ * paper builds LCS on a greedy scheduler; this figure establishes GTO as
+ * a sound baseline (it matches or beats LRR nearly everywhere).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig lrr = makeConfig(WarpSchedKind::LRR,
+                                     CtaSchedKind::RoundRobin);
+    const GpuConfig tl = makeConfig(WarpSchedKind::TwoLevel,
+                                    CtaSchedKind::RoundRobin);
+    const GpuConfig gto = makeConfig(WarpSchedKind::GTO,
+                                     CtaSchedKind::RoundRobin);
+
+    std::printf("E5: warp scheduler comparison (baseline RR CTA "
+                "scheduler, max CTAs)\n\n");
+    Table table("IPC by warp scheduler");
+    table.setHeader({"workload", "LRR", "2LVL", "GTO", "GTO/LRR"});
+    std::vector<double> ratios;
+    for (const auto& name : workloadNames()) {
+        const KernelInfo kernel = makeWorkload(name);
+        const RunResult a = runKernel(lrr, kernel);
+        const RunResult t = runKernel(tl, kernel);
+        const RunResult b = runKernel(gto, kernel);
+        ratios.push_back(b.ipc / a.ipc);
+        table.addRow(name, {a.ipc, t.ipc, b.ipc, b.ipc / a.ipc});
+    }
+    table.addRow("geomean", {0.0, 0.0, 0.0, geomean(ratios)});
+    std::printf("%s", table.toText().c_str());
+    return 0;
+}

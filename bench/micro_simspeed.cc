@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulator substrate itself:
+ * simulated-cycles-per-second for a small kernel, cache and coalescer
+ * throughput. Guards against performance regressions in the hot loops
+ * that every experiment depends on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "gpu/gpu.hh"
+#include "harness/runner.hh"
+#include "kernel/program_builder.hh"
+#include "mem/cache.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace bsched;
+
+KernelInfo
+smallKernel()
+{
+    KernelInfo k;
+    k.name = "micro";
+    k.grid = {30, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder builder;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = 0x1000000;
+    const auto i = builder.pattern(in);
+    builder.loop(16).load(i).alu(4).endLoop();
+    k.program = builder.build();
+    return k;
+}
+
+void
+BM_SimulateSmallKernel(benchmark::State& state)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = smallKernel();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        Gpu gpu(config);
+        gpu.launchKernel(kernel);
+        gpu.run();
+        cycles += gpu.cycle();
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallKernel)->Unit(benchmark::kMillisecond);
+
+void
+BM_CacheAccess(benchmark::State& state)
+{
+    CacheConfig cfg;
+    TagArray tags(cfg, "bench.l1");
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        const Addr line = (n * 127) % 4096 * cfg.lineBytes;
+        benchmark::DoNotOptimize(tags.access(line, n));
+        if (!tags.probe(line))
+            tags.fill(line, n);
+        ++n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Coalescer(benchmark::State& state)
+{
+    MemPattern p;
+    p.kind = AccessKind::Strided;
+    p.strideElems = static_cast<std::uint32_t>(state.range(0));
+    KernelGeom geom{256, 120};
+    std::uint64_t iter = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            coalesce(p, geom, 3, 2, iter++, kWarpSize, 128));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(iter));
+}
+BENCHMARK(BM_Coalescer)->Arg(1)->Arg(8)->Arg(32);
+
+void
+BM_WorkloadConstruction(benchmark::State& state)
+{
+    for (auto _ : state) {
+        for (const auto& name : workloadNames())
+            benchmark::DoNotOptimize(makeWorkload(name));
+    }
+}
+BENCHMARK(BM_WorkloadConstruction)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

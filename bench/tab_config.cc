@@ -1,0 +1,20 @@
+/**
+ * @file
+ * E1 — the simulator-configuration table (the paper's "simulation
+ * methodology" table): the GTX480-class machine every experiment uses.
+ */
+
+#include <cstdio>
+
+#include "sim/config.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig config = GpuConfig::gtx480();
+    config.validate();
+    std::printf("E1: simulated machine configuration (GTX480-class)\n\n%s",
+                config.toString().c_str());
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * E2 — the benchmark-characteristics table: per workload, the launch
+ * geometry, per-thread/per-CTA resources, the occupancy-limited maximum
+ * CTAs per core with its binding limit, and the paper-taxonomy class.
+ */
+
+#include <cstdio>
+
+#include "kernel/occupancy.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+int
+main()
+{
+    using namespace bsched;
+    const GpuConfig config = GpuConfig::gtx480();
+
+    std::printf("E2: workload characteristics\n\n");
+    Table table("suite");
+    table.setHeader({"workload", "grid", "cta", "regs/t", "smem/cta",
+                     "Nmax", "limiter", "type", "dyn-instrs", "notes"});
+    for (const auto& name : workloadNames()) {
+        const KernelInfo k = makeWorkload(name);
+        table.addRow({
+            name,
+            std::to_string(k.gridCtas()),
+            std::to_string(k.ctaThreads()),
+            std::to_string(k.regsPerThread),
+            std::to_string(k.smemBytesPerCta),
+            std::to_string(maxCtasPerCore(config, k)),
+            toString(occupancyLimiter(config, k)),
+            toString(k.typeClass),
+            std::to_string(k.totalDynamicInstrs()),
+            workloadNotes(name),
+        });
+    }
+    std::printf("%s", table.toText().c_str());
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Inter-CTA locality walkthrough: a hotspot-like stencil whose
+ * neighbouring CTAs share halo rows. Shows how the baseline scheduler
+ * wastes that locality by spraying consecutive CTAs across cores, and
+ * how BCS (paired dispatch) plus BAWS (block-aware warp scheduling)
+ * recover it.
+ */
+
+#include <cstdio>
+
+#include "harness/runner.hh"
+#include "kernel/program_builder.hh"
+#include "sim/table.hh"
+
+namespace {
+
+bsched::KernelInfo
+makeStencil()
+{
+    using namespace bsched;
+    ProgramBuilder builder;
+    // Each CTA processes 4 rows of a 1KB-wide grid and reads 2 halo
+    // rows on each side: 50% of each CTA's input is shared with its
+    // neighbours.
+    MemPattern halo;
+    halo.kind = AccessKind::HaloRows;
+    halo.base = 0x40000000;
+    halo.rowBytes = 1024;
+    halo.rowsPerCta = 4;
+    halo.haloRows = 2;
+    const auto h = builder.pattern(halo);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = 0x80000000;
+    const auto o = builder.pattern(out);
+    builder.loop(32).load(h).alu(2).load(h).alu(2).endLoop();
+    builder.loop(2).alu(1).store(o).endLoop();
+
+    KernelInfo kernel;
+    kernel.name = "stencil";
+    kernel.grid = {480, 1, 1};
+    kernel.cta = {256, 1, 1};
+    kernel.regsPerThread = 32; // register-limited to 4 CTAs/core
+    kernel.program = builder.build();
+    return kernel;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace bsched;
+    const KernelInfo kernel = makeStencil();
+
+    struct Variant
+    {
+        const char* label;
+        WarpSchedKind warp;
+        CtaSchedKind cta;
+    };
+    const Variant variants[] = {
+        {"baseline (RR spray + GTO)", WarpSchedKind::GTO,
+         CtaSchedKind::RoundRobin},
+        {"BCS pairs + GTO", WarpSchedKind::GTO, CtaSchedKind::Block},
+        {"BCS pairs + BAWS", WarpSchedKind::BAWS, CtaSchedKind::Block},
+    };
+
+    Table table("stencil under CTA-placement policies");
+    table.setHeader({"policy", "IPC", "speedup", "L1 miss %",
+                     "DRAM reads"});
+    double base_ipc = 0.0;
+    for (const Variant& v : variants) {
+        const RunResult r = runKernel(makeConfig(v.warp, v.cta), kernel);
+        if (base_ipc == 0.0)
+            base_ipc = r.ipc;
+        table.addRow({v.label, fmt(r.ipc, 2), fmt(r.ipc / base_ipc, 3),
+                      fmt(100 * r.l1MissRate(), 1),
+                      fmt(r.stats.sumBySuffix(".dram.read"), 0)});
+    }
+    std::printf("%s\n", table.toText().c_str());
+    std::printf("Consecutive CTAs share 4 of their 8 input rows; pairing\n"
+                "them on one core turns the partner's halo fetches into\n"
+                "L1 hits (watch the miss-rate column drop by a third),\n"
+                "and BAWS keeps the pair at even progress so the shared\n"
+                "lines are still resident when reused. How much of the\n"
+                "miss reduction converts into IPC depends on how exposed\n"
+                "the latency is — see bench/fig_baws for the full sweep\n"
+                "and EXPERIMENTS.md (E9/E10) for the discussion.\n");
+    return 0;
+}

@@ -1,0 +1,201 @@
+#include "core/ldst_unit.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+LdstUnit::LdstUnit(const GpuConfig& config, std::uint32_t core_id)
+    : name_("core" + std::to_string(core_id) + ".ldst"),
+      coreId_(static_cast<std::uint16_t>(core_id)),
+      config_(config),
+      tags_(config.l1d, name_ + ".l1d"),
+      mshr_(config.l1d.mshrEntries, config.l1d.mshrMaxMerged,
+            name_ + ".l1mshr"),
+      hitQ_(config.l1d.hitLatency, 0)
+{
+    // Enough batch slots for the queue plus batches whose lines are all
+    // dispatched but still outstanding in the memory system.
+    const std::size_t slots = config.ldstQueueDepth +
+        static_cast<std::size_t>(config.l1d.mshrEntries) *
+        config.l1d.mshrMaxMerged;
+    batches_.resize(slots);
+    for (std::size_t i = 0; i < slots; ++i)
+        freeBatches_.push_back(static_cast<std::uint32_t>(slots - 1 - i));
+}
+
+std::uint32_t
+LdstUnit::allocBatch()
+{
+    if (freeBatches_.empty())
+        panic(name_, ": out of batch slots");
+    std::uint32_t id = freeBatches_.back();
+    freeBatches_.pop_back();
+    return id;
+}
+
+void
+LdstUnit::pushBatch(Cycle now, int warp_id, std::int8_t reg, bool write,
+                    std::vector<Addr> lines)
+{
+    (void)now;
+    if (!canAcceptBatch())
+        panic(name_, ": batch queue overflow");
+    if (lines.empty())
+        panic(name_, ": empty access batch");
+    const std::uint32_t id = allocBatch();
+    Batch& batch = batches_[id];
+    batch.inUse = true;
+    batch.warpId = warp_id;
+    batch.reg = reg;
+    batch.write = write;
+    batch.pendingLines.assign(lines.begin(), lines.end());
+    batch.outstanding = 0;
+    batchQ_.push_back(id);
+}
+
+void
+LdstUnit::maybeComplete(std::uint32_t batch_id, Cycle now)
+{
+    (void)now;
+    Batch& batch = batches_[batch_id];
+    if (!batch.inUse || !batch.pendingLines.empty() || batch.outstanding > 0)
+        return;
+    if (!batch.write)
+        completions_.push_back({batch.warpId, batch.reg});
+    batch = Batch{};
+    freeBatches_.push_back(batch_id);
+}
+
+bool
+LdstUnit::processLine(Cycle now)
+{
+    const std::uint32_t batch_id = batchQ_.front();
+    Batch& batch = batches_[batch_id];
+    const Addr line = batch.pendingLines.front();
+
+    if (batch.write) {
+        // Write-through, no-allocate: forward to L2; refresh L1 recency
+        // if present (data is clean either way).
+        if (outgoing_.size() >= config_.coreMemQueue)
+            return false;
+        tags_.access(line, now); // counts store hit/miss statistics
+        outgoing_.push_back({line, true, coreId_});
+        batch.pendingLines.pop_front();
+        ++linesProcessed_;
+        return true;
+    }
+
+    // Load path.
+    if (tags_.access(line, now)) {
+        hitQ_.push(now, batch_id);
+        ++batch.outstanding;
+        batch.pendingLines.pop_front();
+        ++linesProcessed_;
+        return true;
+    }
+    // Miss: primary needs an MSHR entry + outgoing space; secondary merges.
+    if (!mshr_.has(line)) {
+        if (mshr_.full() || outgoing_.size() >= config_.coreMemQueue)
+            return false;
+        if (mshr_.allocate(line, batch_id) != MshrOutcome::NewEntry)
+            panic(name_, ": expected new L1 MSHR entry");
+        outgoing_.push_back({line, false, coreId_});
+    } else {
+        if (mshr_.allocate(line, batch_id) != MshrOutcome::Merged)
+            return false; // merge list full; retry next cycle
+    }
+    ++batch.outstanding;
+    batch.pendingLines.pop_front();
+    ++linesProcessed_;
+    return true;
+}
+
+void
+LdstUnit::tick(Cycle now)
+{
+    // Return L1 hits whose latency elapsed.
+    while (hitQ_.ready(now)) {
+        const std::uint32_t batch_id = hitQ_.pop(now);
+        Batch& batch = batches_[batch_id];
+        if (batch.outstanding == 0)
+            panic(name_, ": hit return for idle batch");
+        --batch.outstanding;
+        maybeComplete(batch_id, now);
+    }
+
+    // One cache-port access per cycle from the head batch.
+    if (!batchQ_.empty()) {
+        if (processLine(now)) {
+            const std::uint32_t head = batchQ_.front();
+            if (batches_[head].pendingLines.empty()) {
+                batchQ_.pop_front();
+                maybeComplete(head, now);
+            }
+        } else {
+            ++stallCycles_;
+        }
+    }
+}
+
+void
+LdstUnit::onFill(Cycle now, Addr line_addr)
+{
+    // Fill the line unless a racing fill already inserted it.
+    if (!tags_.probe(line_addr)) {
+        const Eviction ev = tags_.fill(line_addr, now);
+        // Write-through L1: victims are always clean.
+        if (ev.valid && ev.dirty)
+            panic(name_, ": dirty eviction from write-through L1");
+    }
+    for (std::uint32_t batch_id : mshr_.complete(line_addr)) {
+        Batch& batch = batches_[batch_id];
+        if (batch.outstanding == 0)
+            panic(name_, ": fill for idle batch");
+        --batch.outstanding;
+        maybeComplete(batch_id, now);
+    }
+}
+
+std::vector<LoadCompletion>
+LdstUnit::drainCompletions()
+{
+    std::vector<LoadCompletion> out;
+    out.swap(completions_);
+    return out;
+}
+
+const MemRequest&
+LdstUnit::peekOutgoing() const
+{
+    if (outgoing_.empty())
+        panic(name_, ": peekOutgoing on empty queue");
+    return outgoing_.front();
+}
+
+MemRequest
+LdstUnit::popOutgoing()
+{
+    if (outgoing_.empty())
+        panic(name_, ": popOutgoing on empty queue");
+    MemRequest req = outgoing_.front();
+    outgoing_.pop_front();
+    return req;
+}
+
+bool
+LdstUnit::drained() const
+{
+    return batchQ_.empty() && mshr_.empty() && outgoing_.empty() &&
+        hitQ_.empty() && completions_.empty();
+}
+
+void
+LdstUnit::addStats(StatSet& stats) const
+{
+    tags_.addStats(stats, name_ + ".l1d");
+    mshr_.addStats(stats, name_ + ".l1mshr");
+    stats.add(name_ + ".stall", static_cast<double>(stallCycles_));
+    stats.add(name_ + ".lines", static_cast<double>(linesProcessed_));
+}
+
+} // namespace bsched

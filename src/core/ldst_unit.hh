@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The core's load/store unit: accepts coalesced access batches from
+ * issued memory instructions, walks each batch's lines through the L1D
+ * (hit queue / MSHR merge / request to the memory partition), and reports
+ * completed loads so the core can release the destination register.
+ *
+ * The L1D is write-through, no-write-allocate (the GPGPU-Sim default for
+ * global data): stores update an existing line but never allocate, and
+ * every store is forwarded to L2.
+ */
+
+#ifndef BSCHED_CORE_LDST_UNIT_HH
+#define BSCHED_CORE_LDST_UNIT_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "isa/instr.hh"
+#include "mem/cache.hh"
+#include "mem/mem_common.hh"
+#include "mem/mshr.hh"
+#include "sim/config.hh"
+#include "sim/queues.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+/** A finished load batch: release @p reg of @p warpId. */
+struct LoadCompletion
+{
+    int warpId = kInvalidId;
+    std::int8_t reg = kNoReg;
+};
+
+/** Per-core LD/ST pipeline with L1 data cache. */
+class LdstUnit
+{
+  public:
+    LdstUnit(const GpuConfig& config, std::uint32_t core_id);
+
+    /** True if a new memory instruction can enter the batch queue. */
+    bool
+    canAcceptBatch() const
+    {
+        return batchQ_.size() < config_.ldstQueueDepth;
+    }
+
+    /**
+     * True if a newly issued memory instruction could make progress this
+     * cycle: queue space, plus (conservatively) a free MSHR entry and
+     * outgoing-request space. Gating issue on this is what turns an
+     * MSHR-full condition into a *reservation failure at issue time*, so
+     * the warp scheduler re-arbitrates the freed MSHR slots each cycle —
+     * under GTO, older CTAs get the memory bandwidth first. Without this
+     * gate a young CTA's access can camp at the queue head and invert
+     * the priority.
+     */
+    bool
+    canAdmit(bool write) const
+    {
+        if (!canAcceptBatch())
+            return false;
+        if (outgoing_.size() >= config_.coreMemQueue)
+            return false;
+        return write || !mshr_.full();
+    }
+
+    /**
+     * Enqueue the line set of one issued memory instruction.
+     * @param reg destination register (kNoReg for stores).
+     */
+    void pushBatch(Cycle now, int warp_id, std::int8_t reg, bool write,
+                   std::vector<Addr> lines);
+
+    /** Advance one cycle: service the head batch and the L1 hit queue. */
+    void tick(Cycle now);
+
+    /** Deliver an L2 fill response (from the interconnect). */
+    void onFill(Cycle now, Addr line_addr);
+
+    /** Completed loads since the last drain; caller takes ownership. */
+    std::vector<LoadCompletion> drainCompletions();
+
+    /** True if a request is waiting to be injected into the network. */
+    bool hasOutgoing() const { return !outgoing_.empty(); }
+    const MemRequest& peekOutgoing() const;
+    MemRequest popOutgoing();
+
+    /** True if nothing is in flight anywhere in the unit. */
+    bool drained() const;
+
+    const TagArray& l1() const { return tags_; }
+    std::uint64_t stallCycles() const { return stallCycles_; }
+
+    void addStats(StatSet& stats) const;
+
+  private:
+    struct Batch
+    {
+        bool inUse = false;
+        int warpId = kInvalidId;
+        std::int8_t reg = kNoReg;
+        bool write = false;
+        std::deque<Addr> pendingLines;
+        std::uint32_t outstanding = 0;
+    };
+
+    std::uint32_t allocBatch();
+    void maybeComplete(std::uint32_t batch_id, Cycle now);
+    /** Try to process one line of the head batch; false on stall. */
+    bool processLine(Cycle now);
+
+    std::string name_;
+    std::uint16_t coreId_;
+    GpuConfig config_;
+    TagArray tags_;
+    MshrFile mshr_;
+    std::vector<Batch> batches_;
+    std::vector<std::uint32_t> freeBatches_;
+    std::deque<std::uint32_t> batchQ_;
+    TimedQueue<std::uint32_t> hitQ_; ///< batch ids completing an L1 hit
+    std::deque<MemRequest> outgoing_;
+    std::vector<LoadCompletion> completions_;
+
+    std::uint64_t stallCycles_ = 0;
+    std::uint64_t linesProcessed_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CORE_LDST_UNIT_HH

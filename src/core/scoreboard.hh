@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-warp register scoreboard. All lanes of a warp advance in lock-step,
+ * so dependences are tracked at warp granularity: each virtual register
+ * has a ready cycle (kCycleNever for loads, released on fill).
+ */
+
+#ifndef BSCHED_CORE_SCOREBOARD_HH
+#define BSCHED_CORE_SCOREBOARD_HH
+
+#include <array>
+
+#include "isa/instr.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** Tracks outstanding register writes of one warp. */
+class Scoreboard
+{
+  public:
+    Scoreboard() { reset(); }
+
+    /** Clear all pending state (warp launch). */
+    void
+    reset()
+    {
+        ready_.fill(0);
+    }
+
+    /** True if @p reg is readable/writable at @p now. */
+    bool
+    regReady(std::int8_t reg, Cycle now) const
+    {
+        return reg == kNoReg || ready_[static_cast<std::size_t>(reg)] <= now;
+    }
+
+    /**
+     * True if @p instr has no RAW/WAW hazard at @p now (sources readable,
+     * destination not pending).
+     */
+    bool
+    canIssue(const Instr& instr, Cycle now) const
+    {
+        return regReady(instr.src0, now) && regReady(instr.src1, now) &&
+            regReady(instr.dst, now);
+    }
+
+    /** Mark @p reg pending until @p ready_cycle (fixed-latency ops). */
+    void
+    setPending(std::int8_t reg, Cycle ready_cycle)
+    {
+        if (reg != kNoReg)
+            ready_[static_cast<std::size_t>(reg)] = ready_cycle;
+    }
+
+    /** Mark @p reg pending until explicitly released (loads). */
+    void
+    setPendingUntilRelease(std::int8_t reg)
+    {
+        setPending(reg, kCycleNever);
+    }
+
+    /** Release @p reg at @p now (load completion). */
+    void
+    release(std::int8_t reg, Cycle now)
+    {
+        setPending(reg, now);
+    }
+
+    /** Count of registers still pending at @p now (tests/stats). */
+    int
+    pendingCount(Cycle now) const
+    {
+        int count = 0;
+        for (Cycle c : ready_) {
+            if (c > now)
+                ++count;
+        }
+        return count;
+    }
+
+  private:
+    std::array<Cycle, kMaxWarpRegs> ready_;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CORE_SCOREBOARD_HH

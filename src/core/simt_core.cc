@@ -1,0 +1,393 @@
+#include "core/simt_core.hh"
+
+#include <algorithm>
+
+#include "kernel/mem_pattern.hh"
+#include "sim/log.hh"
+
+namespace bsched {
+
+SimtCore::SimtCore(const GpuConfig& config, std::uint32_t id)
+    : config_(config),
+      id_(id),
+      name_("core" + std::to_string(id)),
+      warps_(config.maxWarpsPerCore()),
+      ctas_(config.maxCtasPerCore),
+      resources_(config),
+      ldst_(config, id)
+{
+    for (std::uint32_t s = 0; s < config.numSchedulersPerCore; ++s) {
+        schedulers_.push_back(WarpScheduler::create(
+            config.warpSched, config.twoLevelActiveSize));
+    }
+}
+
+bool
+SimtCore::canAccept(const KernelInfo& kernel) const
+{
+    const CtaFootprint fp = ctaFootprint(kernel);
+    if (!resources_.fits(fp))
+        return false;
+    // Need contiguous-free warp *slots* too (one per warp).
+    std::uint32_t free_slots = 0;
+    for (const Warp& warp : warps_) {
+        if (!warp.valid)
+            ++free_slots;
+    }
+    return free_slots >= fp.warps;
+}
+
+int
+SimtCore::launchCta(Cycle now, const KernelInfo& kernel, int kernel_id,
+                    std::uint32_t cta_id, std::uint64_t block_seq)
+{
+    if (!canAccept(kernel))
+        panic(name_, ": launchCta without capacity");
+    const CtaFootprint fp = ctaFootprint(kernel);
+    int slot = kInvalidId;
+    for (std::size_t i = 0; i < ctas_.size(); ++i) {
+        if (!ctas_[i].valid) {
+            slot = static_cast<int>(i);
+            break;
+        }
+    }
+    if (slot == kInvalidId)
+        panic(name_, ": no free HW CTA slot");
+
+    HwCta& cta = ctas_[static_cast<std::size_t>(slot)];
+    cta = HwCta{};
+    cta.valid = true;
+    cta.kernelId = kernel_id;
+    cta.ctaId = cta_id;
+    cta.ctaSeq = ctaSeqCounter_++;
+    cta.blockSeq = block_seq;
+    cta.warpsTotal = fp.warps;
+    cta.footprint = fp;
+    cta.kernel = &kernel;
+    cta.launchCycle = now;
+    resources_.allocate(fp);
+
+    std::uint32_t placed = 0;
+    for (std::size_t w = 0; w < warps_.size() && placed < fp.warps; ++w) {
+        Warp& warp = warps_[w];
+        if (warp.valid)
+            continue;
+        warp.clear();
+        warp.valid = true;
+        warp.hwCta = slot;
+        warp.kernelId = kernel_id;
+        warp.ctaId = cta_id;
+        warp.warpInCta = placed;
+        warp.ctaSeq = cta.ctaSeq;
+        warp.blockSeq = block_seq;
+        warp.kernel = &kernel;
+        warp.cursor.init(kernel.program, cta_id);
+        warp.sb.reset();
+        if (warp.cursor.done(kernel.program)) {
+            // Degenerate empty program: warp is born finished.
+            warp.done = true;
+            ++cta.warpsDone;
+        }
+        ++placed;
+    }
+    if (placed != fp.warps)
+        panic(name_, ": warp slot accounting mismatch");
+
+    KernelTrack& track = kernels_[kernel_id];
+    if (track.firstLaunch == kCycleNever)
+        track.firstLaunch = now;
+    ++ctasLaunched_;
+
+    if (cta.warpsDone == cta.warpsTotal)
+        completeCta(slot, now);
+    return slot;
+}
+
+std::vector<CtaDoneEvent>
+SimtCore::drainCompletedCtas()
+{
+    std::vector<CtaDoneEvent> out;
+    out.swap(completed_);
+    return out;
+}
+
+void
+SimtCore::deliverResponse(Cycle now, const MemResponse& response)
+{
+    ldst_.onFill(now, response.lineAddr);
+}
+
+bool
+SimtCore::idle() const
+{
+    return residentCtas() == 0 && ldst_.drained();
+}
+
+std::uint32_t
+SimtCore::residentCtas(int kernel_id) const
+{
+    std::uint32_t count = 0;
+    for (const HwCta& cta : ctas_) {
+        if (cta.valid && cta.kernelId == kernel_id)
+            ++count;
+    }
+    return count;
+}
+
+std::uint64_t
+SimtCore::instrsIssued(int kernel_id) const
+{
+    auto it = kernels_.find(kernel_id);
+    return it == kernels_.end() ? 0 : it->second.issued;
+}
+
+Cycle
+SimtCore::kernelFirstLaunch(int kernel_id) const
+{
+    auto it = kernels_.find(kernel_id);
+    return it == kernels_.end() ? kCycleNever : it->second.firstLaunch;
+}
+
+std::vector<std::uint64_t>
+SimtCore::ctaIssueCounts(int kernel_id) const
+{
+    std::vector<std::uint64_t> counts;
+    auto it = kernels_.find(kernel_id);
+    if (it != kernels_.end())
+        counts = it->second.completedCtaIssued;
+    for (const HwCta& cta : ctas_) {
+        if (cta.valid && cta.kernelId == kernel_id)
+            counts.push_back(cta.issued);
+    }
+    return counts;
+}
+
+bool
+SimtCore::warpReady(const Warp& warp, Cycle now) const
+{
+    const Instr& instr = warp.cursor.instr(warp.kernel->program);
+    if (!warp.sb.canIssue(instr, now))
+        return false;
+    switch (instr.op) {
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+        return memIssuedThisCycle_ < config_.ldstUnits &&
+            ldst_.canAdmit(instr.op == Opcode::StGlobal);
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return memIssuedThisCycle_ < config_.ldstUnits &&
+            smemBusyUntil_ <= now;
+      case Opcode::Sfu:
+        return sfuIssuedThisCycle_ < config_.sfuUnits;
+      case Opcode::Alu:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return true;
+    }
+    return false;
+}
+
+void
+SimtCore::issueFrom(int warp_id, Cycle now)
+{
+    Warp& warp = warps_[static_cast<std::size_t>(warp_id)];
+    const WarpProgram& prog = warp.kernel->program;
+    const Instr& instr = warp.cursor.instr(prog);
+
+    switch (instr.op) {
+      case Opcode::Alu:
+        warp.sb.setPending(instr.dst, now + config_.aluLatency);
+        ++issuedAlu_;
+        break;
+      case Opcode::Sfu:
+        warp.sb.setPending(instr.dst, now + config_.sfuLatency);
+        ++sfuIssuedThisCycle_;
+        ++issuedSfu_;
+        break;
+      case Opcode::LdGlobal: {
+        auto lines = coalesce(prog.pattern(instr.patternId),
+                              warp.kernel->geom(), warp.ctaId,
+                              warp.warpInCta, warp.cursor.iterKey(),
+                              instr.activeLanes, config_.l1d.lineBytes);
+        warp.sb.setPendingUntilRelease(instr.dst);
+        ldst_.pushBatch(now, warp_id, instr.dst, false, std::move(lines));
+        ++memIssuedThisCycle_;
+        ++issuedMem_;
+        break;
+      }
+      case Opcode::StGlobal: {
+        auto lines = coalesce(prog.pattern(instr.patternId),
+                              warp.kernel->geom(), warp.ctaId,
+                              warp.warpInCta, warp.cursor.iterKey(),
+                              instr.activeLanes, config_.l1d.lineBytes);
+        ldst_.pushBatch(now, warp_id, kNoReg, true, std::move(lines));
+        ++memIssuedThisCycle_;
+        ++issuedMem_;
+        break;
+      }
+      case Opcode::LdShared: {
+        const std::uint32_t factor = sharedConflictFactor(
+            prog.pattern(instr.patternId), instr.activeLanes);
+        warp.sb.setPending(instr.dst,
+                           now + config_.smemLatency + factor - 1);
+        smemBusyUntil_ = now + factor;
+        ++memIssuedThisCycle_;
+        ++issuedMem_;
+        break;
+      }
+      case Opcode::StShared: {
+        const std::uint32_t factor = sharedConflictFactor(
+            prog.pattern(instr.patternId), instr.activeLanes);
+        smemBusyUntil_ = now + factor;
+        ++memIssuedThisCycle_;
+        ++issuedMem_;
+        break;
+      }
+      case Opcode::Bar:
+        warp.atBarrier = true;
+        ++issuedBar_;
+        break;
+      case Opcode::Exit:
+        break;
+    }
+
+    ++warp.instrsIssued;
+    ++issuedTotal_;
+    HwCta& cta = ctas_[static_cast<std::size_t>(warp.hwCta)];
+    ++cta.issued;
+    ++kernels_[warp.kernelId].issued;
+
+    const bool was_barrier = instr.op == Opcode::Bar;
+    warp.cursor.advance(prog, warp.ctaId);
+    if (warp.cursor.done(prog))
+        finishWarp(warp_id, now);
+    else if (was_barrier)
+        checkBarrier(warp.hwCta);
+}
+
+void
+SimtCore::finishWarp(int warp_id, Cycle now)
+{
+    Warp& warp = warps_[static_cast<std::size_t>(warp_id)];
+    warp.done = true;
+    HwCta& cta = ctas_[static_cast<std::size_t>(warp.hwCta)];
+    ++cta.warpsDone;
+    if (cta.warpsDone == cta.warpsTotal)
+        completeCta(warp.hwCta, now);
+    else
+        checkBarrier(warp.hwCta); // a finished warp may unblock a barrier
+}
+
+void
+SimtCore::completeCta(int hw_cta, Cycle now)
+{
+    HwCta& cta = ctas_[static_cast<std::size_t>(hw_cta)];
+    if (!cta.valid)
+        panic(name_, ": completing invalid CTA slot");
+
+    for (Warp& warp : warps_) {
+        if (warp.valid && warp.hwCta == hw_cta)
+            warp.clear();
+    }
+    resources_.release(cta.footprint);
+    kernels_[cta.kernelId].completedCtaIssued.push_back(cta.issued);
+    completed_.push_back(
+        {id_, cta.kernelId, cta.ctaId, cta.issued, now});
+    ++ctasCompleted_;
+    cta.valid = false;
+}
+
+void
+SimtCore::checkBarrier(int hw_cta)
+{
+    std::uint32_t live = 0;
+    std::uint32_t arrived = 0;
+    for (const Warp& warp : warps_) {
+        if (!warp.valid || warp.hwCta != hw_cta || warp.done)
+            continue;
+        ++live;
+        if (warp.atBarrier)
+            ++arrived;
+    }
+    if (live > 0 && arrived == live) {
+        for (Warp& warp : warps_) {
+            if (warp.valid && warp.hwCta == hw_cta)
+                warp.atBarrier = false;
+        }
+    }
+}
+
+void
+SimtCore::applyCompletions(Cycle now)
+{
+    for (const LoadCompletion& done : ldst_.drainCompletions()) {
+        Warp& warp = warps_[static_cast<std::size_t>(done.warpId)];
+        // The warp slot may have been recycled only if its CTA finished,
+        // which is impossible with a load in flight.
+        warp.sb.release(done.reg, now);
+    }
+}
+
+void
+SimtCore::tick(Cycle now)
+{
+    applyCompletions(now);
+    ldst_.tick(now);
+    applyCompletions(now);
+
+    memIssuedThisCycle_ = 0;
+    sfuIssuedThisCycle_ = 0;
+
+    if (residentCtas() > 0)
+        ++activeCycles_;
+    else
+        return;
+
+    bool issued_any = false;
+    std::vector<int> ready;
+    for (std::size_t s = 0; s < schedulers_.size(); ++s) {
+        ready.clear();
+        for (std::size_t w = s; w < warps_.size();
+             w += schedulers_.size()) {
+            const Warp& warp = warps_[w];
+            if (warp.live() && !warp.atBarrier && warpReady(warp, now))
+                ready.push_back(static_cast<int>(w));
+        }
+        if (ready.empty())
+            continue;
+        const int chosen = schedulers_[s]->pick(ready, warps_);
+        if (chosen < 0)
+            panic(name_, ": scheduler returned no warp from ready set");
+        // Notify before issuing: issueFrom can retire the warp's CTA and
+        // recycle the slot, after which its metadata is gone.
+        schedulers_[s]->notifyIssued(chosen, warps_);
+        issueFrom(chosen, now);
+        issued_any = true;
+    }
+    if (issued_any) {
+        ++issueCycles_;
+    } else if (!ldst_.drained()) {
+        ++stallMemCycles_;
+    } else {
+        ++stallIdleCycles_;
+    }
+}
+
+void
+SimtCore::addStats(StatSet& stats) const
+{
+    ldst_.addStats(stats);
+    stats.add(name_ + ".issued", static_cast<double>(issuedTotal_));
+    stats.add(name_ + ".issued_alu", static_cast<double>(issuedAlu_));
+    stats.add(name_ + ".issued_sfu", static_cast<double>(issuedSfu_));
+    stats.add(name_ + ".issued_mem", static_cast<double>(issuedMem_));
+    stats.add(name_ + ".issued_bar", static_cast<double>(issuedBar_));
+    stats.add(name_ + ".active_cycles", static_cast<double>(activeCycles_));
+    stats.add(name_ + ".issue_cycles", static_cast<double>(issueCycles_));
+    stats.add(name_ + ".stall_mem", static_cast<double>(stallMemCycles_));
+    stats.add(name_ + ".stall_idle", static_cast<double>(stallIdleCycles_));
+    stats.add(name_ + ".ctas_launched", static_cast<double>(ctasLaunched_));
+    stats.add(name_ + ".ctas_done", static_cast<double>(ctasCompleted_));
+}
+
+} // namespace bsched

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * One SIMT core (SM): warp contexts, per-slot warp schedulers, register
+ * scoreboards, barrier handling, shared-memory timing and the LD/ST unit
+ * with its L1D. CTAs are placed here by the CTA scheduler; the core
+ * reports CTA completions and exposes the per-CTA issue counters the LCS
+ * monitor reads.
+ */
+
+#ifndef BSCHED_CORE_SIMT_CORE_HH
+#define BSCHED_CORE_SIMT_CORE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ldst_unit.hh"
+#include "core/warp.hh"
+#include "core/warp_sched.hh"
+#include "kernel/occupancy.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+/** A CTA completion event reported to the CTA scheduler. */
+struct CtaDoneEvent
+{
+    std::uint32_t coreId = 0;
+    int kernelId = kInvalidId;
+    std::uint32_t ctaId = 0;
+    std::uint64_t issuedInstrs = 0; ///< instructions this CTA issued
+    Cycle doneCycle = 0;
+};
+
+/** A streaming multiprocessor. */
+class SimtCore
+{
+  public:
+    SimtCore(const GpuConfig& config, std::uint32_t id);
+
+    // --- CTA lifecycle --------------------------------------------------
+
+    /** True if one CTA of @p kernel fits right now (resources + warps). */
+    bool canAccept(const KernelInfo& kernel) const;
+
+    /**
+     * Place a CTA. @p block_seq groups CTAs dispatched together (BCS);
+     * under non-block scheduling every CTA gets a unique block.
+     * Returns the hardware CTA slot index.
+     */
+    int launchCta(Cycle now, const KernelInfo& kernel, int kernel_id,
+                  std::uint32_t cta_id, std::uint64_t block_seq);
+
+    /** CTA completions since the last drain. */
+    std::vector<CtaDoneEvent> drainCompletedCtas();
+
+    // --- simulation -----------------------------------------------------
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    // --- memory-side interface (driven by the GPU top level) ------------
+
+    bool hasOutgoing() const { return ldst_.hasOutgoing(); }
+    const MemRequest& peekOutgoing() const { return ldst_.peekOutgoing(); }
+    MemRequest popOutgoing() { return ldst_.popOutgoing(); }
+    void deliverResponse(Cycle now, const MemResponse& response);
+
+    // --- status & monitoring ---------------------------------------------
+
+    /** No resident CTAs and no memory traffic in flight. */
+    bool idle() const;
+
+    std::uint32_t residentCtas() const { return resources_.residentCtas(); }
+    std::uint32_t residentCtas(int kernel_id) const;
+    const CoreResources& resources() const { return resources_; }
+
+    std::uint64_t instrsIssued() const { return issuedTotal_; }
+    std::uint64_t instrsIssued(int kernel_id) const;
+
+    /**
+     * Stall accounting for dynamic CTA controllers (DYNCTA-style):
+     * cycles with resident CTAs but zero issue, split into
+     * memory-bound (outstanding loads in the LD/ST unit) and
+     * starved (no memory outstanding — too little work/TLP).
+     */
+    std::uint64_t memStallCycles() const { return stallMemCycles_; }
+    std::uint64_t idleStallCycles() const { return stallIdleCycles_; }
+
+    /** Cycle the first CTA of @p kernel_id arrived; kCycleNever if none. */
+    Cycle kernelFirstLaunch(int kernel_id) const;
+
+    /**
+     * Per-CTA issued-instruction counts for @p kernel_id on this core:
+     * completed CTAs first, then resident ones. This is the signal the
+     * LCS monitor turns into N_opt = ceil(total / max).
+     */
+    std::vector<std::uint64_t> ctaIssueCounts(int kernel_id) const;
+
+    std::uint32_t id() const { return id_; }
+    const std::vector<Warp>& warps() const { return warps_; }
+    const LdstUnit& ldst() const { return ldst_; }
+
+    void addStats(StatSet& stats) const;
+
+  private:
+    struct HwCta
+    {
+        bool valid = false;
+        int kernelId = kInvalidId;
+        std::uint32_t ctaId = 0;
+        std::uint64_t ctaSeq = 0;
+        std::uint64_t blockSeq = 0;
+        std::uint32_t warpsTotal = 0;
+        std::uint32_t warpsDone = 0;
+        std::uint64_t issued = 0;
+        CtaFootprint footprint{};
+        const KernelInfo* kernel = nullptr;
+        Cycle launchCycle = 0;
+    };
+
+    struct KernelTrack
+    {
+        Cycle firstLaunch = kCycleNever;
+        std::uint64_t issued = 0;
+        std::vector<std::uint64_t> completedCtaIssued;
+    };
+
+    /** True if @p warp can issue its next instruction this cycle. */
+    bool warpReady(const Warp& warp, Cycle now) const;
+    void issueFrom(int warp_id, Cycle now);
+    void finishWarp(int warp_id, Cycle now);
+    void completeCta(int hw_cta, Cycle now);
+    void checkBarrier(int hw_cta);
+    void applyCompletions(Cycle now);
+
+    GpuConfig config_;
+    std::uint32_t id_;
+    std::string name_;
+    std::vector<Warp> warps_;
+    std::vector<HwCta> ctas_;
+    CoreResources resources_;
+    LdstUnit ldst_;
+    std::vector<std::unique_ptr<WarpScheduler>> schedulers_;
+    std::map<int, KernelTrack> kernels_;
+    std::vector<CtaDoneEvent> completed_;
+
+    std::uint64_t ctaSeqCounter_ = 0;
+    Cycle smemBusyUntil_ = 0;
+
+    // Per-cycle structural issue budgets.
+    std::uint32_t memIssuedThisCycle_ = 0;
+    std::uint32_t sfuIssuedThisCycle_ = 0;
+
+    // Statistics.
+    std::uint64_t issuedTotal_ = 0;
+    std::uint64_t issuedAlu_ = 0;
+    std::uint64_t issuedSfu_ = 0;
+    std::uint64_t issuedMem_ = 0;
+    std::uint64_t issuedBar_ = 0;
+    std::uint64_t activeCycles_ = 0;
+    std::uint64_t issueCycles_ = 0; ///< cycles with >=1 instruction issued
+    std::uint64_t stallMemCycles_ = 0;
+    std::uint64_t stallIdleCycles_ = 0;
+    std::uint64_t ctasLaunched_ = 0;
+    std::uint64_t ctasCompleted_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CORE_SIMT_CORE_HH

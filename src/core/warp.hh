@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Dynamic state of one hardware warp slot on a SIMT core.
+ */
+
+#ifndef BSCHED_CORE_WARP_HH
+#define BSCHED_CORE_WARP_HH
+
+#include <cstdint>
+
+#include "core/scoreboard.hh"
+#include "kernel/kernel_info.hh"
+#include "kernel/warp_program.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** One warp context. Invalid slots have valid == false. */
+struct Warp
+{
+    bool valid = false;
+    bool done = false;
+    bool atBarrier = false;
+
+    int hwCta = kInvalidId;          ///< index into the core's CTA table
+    int kernelId = kInvalidId;
+    std::uint32_t ctaId = 0;         ///< linearized global CTA id
+    std::uint32_t warpInCta = 0;
+    std::uint64_t ctaSeq = 0;        ///< core-local CTA arrival order (GTO age)
+    std::uint64_t blockSeq = 0;      ///< BCS dispatch-block id (BAWS grouping)
+
+    const KernelInfo* kernel = nullptr;
+    ProgramCursor cursor;
+    Scoreboard sb;
+
+    std::uint64_t instrsIssued = 0;
+
+    /** True if this warp can still issue instructions eventually. */
+    bool live() const { return valid && !done; }
+
+    void
+    clear()
+    {
+        *this = Warp{};
+    }
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CORE_WARP_HH

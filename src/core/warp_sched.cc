@@ -1,0 +1,233 @@
+#include "core/warp_sched.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+std::unique_ptr<WarpScheduler>
+WarpScheduler::create(WarpSchedKind kind, std::uint32_t two_level_active)
+{
+    switch (kind) {
+      case WarpSchedKind::LRR:
+        return std::make_unique<LrrScheduler>();
+      case WarpSchedKind::GTO:
+        return std::make_unique<GtoScheduler>();
+      case WarpSchedKind::TwoLevel:
+        return std::make_unique<TwoLevelScheduler>(two_level_active);
+      case WarpSchedKind::BAWS:
+        return std::make_unique<BawsScheduler>();
+    }
+    panic("unknown warp scheduler kind");
+}
+
+namespace {
+
+/** Age key: older CTA first, then lower warp index. */
+std::pair<std::uint64_t, std::uint32_t>
+ageKey(const Warp& warp)
+{
+    return {warp.ctaSeq, warp.warpInCta};
+}
+
+/** Oldest ready warp by (ctaSeq, warpInCta). */
+int
+oldest(const std::vector<int>& ready, const std::vector<Warp>& warps)
+{
+    int best = ready.front();
+    for (std::size_t i = 1; i < ready.size(); ++i) {
+        if (ageKey(warps[static_cast<std::size_t>(ready[i])]) <
+            ageKey(warps[static_cast<std::size_t>(best)])) {
+            best = ready[i];
+        }
+    }
+    return best;
+}
+
+bool
+contains(const std::vector<int>& ready, int warp_id)
+{
+    return std::find(ready.begin(), ready.end(), warp_id) != ready.end();
+}
+
+} // namespace
+
+// --- LRR ---------------------------------------------------------------
+
+int
+LrrScheduler::pick(const std::vector<int>& ready,
+                   const std::vector<Warp>& warps)
+{
+    (void)warps;
+    // Smallest ready id strictly greater than the last issued, wrapping.
+    for (int id : ready) {
+        if (id > lastIssued_)
+            return id;
+    }
+    return ready.front();
+}
+
+void
+LrrScheduler::notifyIssued(int warp_id, const std::vector<Warp>& warps)
+{
+    (void)warps;
+    lastIssued_ = warp_id;
+}
+
+// --- GTO ---------------------------------------------------------------
+
+int
+GtoScheduler::pick(const std::vector<int>& ready,
+                   const std::vector<Warp>& warps)
+{
+    if (lastIssued_ >= 0 && contains(ready, lastIssued_))
+        return lastIssued_;
+    return oldest(ready, warps);
+}
+
+void
+GtoScheduler::notifyIssued(int warp_id, const std::vector<Warp>& warps)
+{
+    (void)warps;
+    lastIssued_ = warp_id;
+}
+
+// --- Two-level ----------------------------------------------------------
+
+void
+TwoLevelScheduler::reset()
+{
+    active_.clear();
+    lastIssued_ = -1;
+}
+
+int
+TwoLevelScheduler::pick(const std::vector<int>& ready,
+                        const std::vector<Warp>& warps)
+{
+    // Drop demoted warps (invalid slots) from the active set lazily.
+    std::erase_if(active_, [&](int id) {
+        return !warps[static_cast<std::size_t>(id)].live();
+    });
+
+    // Round-robin among ready members of the active set.
+    int first_active = -1;
+    for (int id : ready) {
+        if (std::find(active_.begin(), active_.end(), id) ==
+            active_.end()) {
+            continue;
+        }
+        if (first_active < 0)
+            first_active = id;
+        if (id > lastIssued_)
+            return id;
+    }
+    if (first_active >= 0)
+        return first_active;
+
+    // No active warp is ready: promote the oldest ready outsider,
+    // demoting the set's oldest member if it is full.
+    const int promoted = oldest(ready, warps);
+    if (active_.size() >= activeSize_)
+        active_.erase(active_.begin());
+    active_.push_back(promoted);
+    return promoted;
+}
+
+void
+TwoLevelScheduler::notifyIssued(int warp_id, const std::vector<Warp>& warps)
+{
+    (void)warps;
+    lastIssued_ = warp_id;
+    if (std::find(active_.begin(), active_.end(), warp_id) == active_.end())
+        active_.push_back(warp_id);
+}
+
+// --- BAWS --------------------------------------------------------------
+
+void
+BawsScheduler::reset()
+{
+    lastBlock_ = kNoBlock;
+    rotate_.clear();
+}
+
+int
+BawsScheduler::pickWithinBlock(std::uint64_t block,
+                               const std::vector<int>& ready,
+                               const std::vector<Warp>& warps)
+{
+    // Within a block, serve the *laggard* CTA first so the paired CTAs
+    // stay at even progress (the shared halo lines are still resident
+    // when the partner needs them), but stay greedy *within* the chosen
+    // CTA so its memory priority remains concentrated.
+    // One pass over the warp table: per-CTA progress for this block.
+    std::unordered_map<std::uint64_t, std::uint64_t> progress;
+    for (const Warp& peer : warps) {
+        if (peer.valid && peer.blockSeq == block)
+            progress[peer.ctaSeq] += peer.instrsIssued;
+    }
+    std::uint64_t best_cta = ~0ULL;
+    std::uint64_t best_progress = ~0ULL;
+    for (int id : ready) {
+        const Warp& warp = warps[static_cast<std::size_t>(id)];
+        if (warp.blockSeq != block)
+            continue;
+        const std::uint64_t p = progress[warp.ctaSeq];
+        if (p < best_progress ||
+            (p == best_progress && warp.ctaSeq < best_cta)) {
+            best_progress = p;
+            best_cta = warp.ctaSeq;
+        }
+    }
+    if (best_cta == ~0ULL)
+        return -1;
+    // Greedy-then-oldest within the laggard CTA.
+    const int last = rotate_.count(block) ? rotate_[block] : -1;
+    int oldest_id = -1;
+    std::uint32_t oldest_win = ~0u;
+    for (int id : ready) {
+        const Warp& warp = warps[static_cast<std::size_t>(id)];
+        if (warp.blockSeq != block || warp.ctaSeq != best_cta)
+            continue;
+        if (id == last)
+            return id; // greedy warp still ready
+        if (warp.warpInCta < oldest_win) {
+            oldest_win = warp.warpInCta;
+            oldest_id = id;
+        }
+    }
+    return oldest_id;
+}
+
+int
+BawsScheduler::pick(const std::vector<int>& ready,
+                    const std::vector<Warp>& warps)
+{
+    // Greedy at block granularity: stick with the last block if any of
+    // its warps is ready.
+    if (lastBlock_ != kNoBlock) {
+        int id = pickWithinBlock(lastBlock_, ready, warps);
+        if (id >= 0)
+            return id;
+    }
+    // Otherwise the oldest ready block.
+    std::uint64_t best_block = kNoBlock;
+    for (int id : ready) {
+        const Warp& warp = warps[static_cast<std::size_t>(id)];
+        if (warp.blockSeq < best_block)
+            best_block = warp.blockSeq;
+    }
+    return pickWithinBlock(best_block, ready, warps);
+}
+
+void
+BawsScheduler::notifyIssued(int warp_id, const std::vector<Warp>& warps)
+{
+    const Warp& warp = warps[static_cast<std::size_t>(warp_id)];
+    lastBlock_ = warp.blockSeq;
+    rotate_[lastBlock_] = warp_id;
+}
+
+} // namespace bsched

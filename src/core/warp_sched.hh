@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Warp-issue selection policies. Each SIMT core runs one scheduler
+ * instance per issue slot; a scheduler owns the warps whose id is
+ * congruent to its slot index.
+ *
+ *  - LRR: loose round-robin over ready warps.
+ *  - GTO: greedy-then-oldest — keep issuing from the last warp until it
+ *    stalls, then fall back to the oldest (by CTA arrival, then warp id).
+ *    GTO's greediness is what makes the LCS issue-ratio estimator work.
+ *  - BAWS: block-aware warp scheduling — greedy-then-oldest across the
+ *    CTA *blocks* BCS dispatched together, round-robin within a block so
+ *    paired CTAs progress at the same rate and reuse each other's lines.
+ */
+
+#ifndef BSCHED_CORE_WARP_SCHED_HH
+#define BSCHED_CORE_WARP_SCHED_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/warp.hh"
+#include "sim/config.hh"
+
+namespace bsched {
+
+/** Strategy interface: choose one warp among the ready candidates. */
+class WarpScheduler
+{
+  public:
+    virtual ~WarpScheduler() = default;
+
+    /**
+     * Pick a warp id from @p ready (non-empty, ascending warp ids).
+     * @p warps is the core's full warp table for tie-break metadata.
+     */
+    virtual int pick(const std::vector<int>& ready,
+                     const std::vector<Warp>& warps) = 0;
+
+    /** Called after the chosen warp actually issued. */
+    virtual void
+    notifyIssued(int warp_id, const std::vector<Warp>& warps)
+    {
+        (void)warp_id;
+        (void)warps;
+    }
+
+    /** Clear greedy/rotation state (core reset). */
+    virtual void reset() {}
+
+    /** Factory keyed by configuration. */
+    static std::unique_ptr<WarpScheduler> create(WarpSchedKind kind,
+                                                 std::uint32_t
+                                                     two_level_active = 8);
+};
+
+/** Loose round-robin. */
+class LrrScheduler : public WarpScheduler
+{
+  public:
+    int pick(const std::vector<int>& ready,
+             const std::vector<Warp>& warps) override;
+    void notifyIssued(int warp_id, const std::vector<Warp>& warps) override;
+    void reset() override { lastIssued_ = -1; }
+
+  private:
+    int lastIssued_ = -1;
+};
+
+/** Greedy-then-oldest. */
+class GtoScheduler : public WarpScheduler
+{
+  public:
+    int pick(const std::vector<int>& ready,
+             const std::vector<Warp>& warps) override;
+    void notifyIssued(int warp_id, const std::vector<Warp>& warps) override;
+    void reset() override { lastIssued_ = -1; }
+
+  private:
+    int lastIssued_ = -1;
+};
+
+/**
+ * Two-level round-robin (Narasiman et al., MICRO 2011 flavour): a small
+ * active set issues round-robin; a warp that stops appearing in the
+ * ready list (long stall) is demoted and the oldest ready outsider is
+ * promoted. Keeps warps at staggered progress without GTO's strict age
+ * priority.
+ */
+class TwoLevelScheduler : public WarpScheduler
+{
+  public:
+    explicit TwoLevelScheduler(std::uint32_t active_size)
+        : activeSize_(active_size)
+    {}
+
+    int pick(const std::vector<int>& ready,
+             const std::vector<Warp>& warps) override;
+    void notifyIssued(int warp_id, const std::vector<Warp>& warps) override;
+    void reset() override;
+
+    /** Current active set (tests). */
+    const std::vector<int>& activeSet() const { return active_; }
+
+  private:
+    std::uint32_t activeSize_;
+    std::vector<int> active_;
+    int lastIssued_ = -1;
+};
+
+/** Block-aware warp scheduling (greedy blocks, fair within a block). */
+class BawsScheduler : public WarpScheduler
+{
+  public:
+    int pick(const std::vector<int>& ready,
+             const std::vector<Warp>& warps) override;
+    void notifyIssued(int warp_id, const std::vector<Warp>& warps) override;
+    void reset() override;
+
+  private:
+    static constexpr std::uint64_t kNoBlock = ~0ULL;
+
+    int pickWithinBlock(std::uint64_t block, const std::vector<int>& ready,
+                        const std::vector<Warp>& warps);
+
+    std::uint64_t lastBlock_ = kNoBlock;
+    /** Per-block round-robin pointer (last issued warp id). */
+    std::unordered_map<std::uint64_t, int> rotate_;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CORE_WARP_SCHED_HH

@@ -1,0 +1,95 @@
+#include "cta/block_cta_sched.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+std::uint32_t
+BlockCtaScheduler::residencyCap(std::uint32_t core_id,
+                                const KernelInstance& kernel) const
+{
+    (void)core_id;
+    return staticCap(*kernel.info);
+}
+
+void
+BlockCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
+                        CoreList& cores)
+{
+    const std::uint32_t block = config_.bcs.blockSize;
+    std::vector<bool> used(cores.size(), false);
+
+    std::vector<KernelInstance*> order;
+    for (KernelInstance& kernel : kernels) {
+        if (!kernel.dispatchDone())
+            order.push_back(&kernel);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const KernelInstance* a, const KernelInstance* b) {
+                         return a->priority < b->priority;
+                     });
+
+    for (KernelInstance* kernel : order) {
+        for (std::uint32_t i = 0;
+             i < cores.size() && !kernel->dispatchDone(); ++i) {
+            const std::uint32_t c =
+                (rrCore_ + i) % static_cast<std::uint32_t>(cores.size());
+            SimtCore& core = *cores[c];
+            if (used[c] || !coreAllowed(*kernel, c))
+                continue;
+            // The tail of the grid may be smaller than a full block.
+            const std::uint32_t remaining =
+                kernel->info->gridCtas() - kernel->nextCta;
+            const std::uint32_t want = std::min(block, remaining);
+            const std::uint32_t cap = residencyCap(c, *kernel);
+            if (core.residentCtas(kernel->id) >= cap)
+                continue;
+            // All-or-nothing: wait until the whole block fits, so the
+            // consecutive CTAs land together.
+            if (!coreFitsN(core, *kernel->info, want))
+                continue;
+            if (core.residentCtas(kernel->id) + want >
+                std::max(cap, want)) {
+                continue;
+            }
+            const std::uint64_t seq = blockSeqCounter_++;
+            for (std::uint32_t b = 0; b < want; ++b)
+                dispatch(now, *kernel, core, seq);
+            used[c] = true;
+        }
+    }
+    rrCore_ = (rrCore_ + 1) % static_cast<std::uint32_t>(cores.size());
+}
+
+void
+LazyBlockCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
+                            CoreList& cores)
+{
+    lazy_.closeExpiredWindows(now, kernels, cores);
+    BlockCtaScheduler::tick(now, kernels, cores);
+}
+
+void
+LazyBlockCtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
+                                     CoreList& cores)
+{
+    lazy_.notifyCtaDone(now, event, cores);
+}
+
+std::uint32_t
+LazyBlockCtaScheduler::residencyCap(std::uint32_t core_id,
+                                    const KernelInstance& kernel) const
+{
+    return lazy_.capFor(core_id, kernel);
+}
+
+void
+LazyBlockCtaScheduler::addStats(StatSet& stats) const
+{
+    CtaScheduler::addStats(stats);
+    lazy_.addStats(stats);
+}
+
+} // namespace bsched

@@ -1,0 +1,131 @@
+#include "cta/cta_sched.hh"
+
+#include <algorithm>
+
+#include "cta/block_cta_sched.hh"
+#include "cta/dyncta_sched.hh"
+#include "cta/lazy_cta_sched.hh"
+#include "sim/log.hh"
+
+namespace bsched {
+
+CtaScheduler::CtaScheduler(const GpuConfig& config)
+    : config_(config)
+{}
+
+void
+CtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
+                            CoreList& cores)
+{
+    (void)now;
+    (void)event;
+    (void)cores;
+}
+
+void
+CtaScheduler::addStats(StatSet& stats) const
+{
+    stats.add("ctasched.dispatches", static_cast<double>(dispatches_));
+}
+
+std::unique_ptr<CtaScheduler>
+CtaScheduler::create(const GpuConfig& config)
+{
+    switch (config.ctaSched) {
+      case CtaSchedKind::RoundRobin:
+        return std::make_unique<RoundRobinCtaScheduler>(config);
+      case CtaSchedKind::Lazy:
+        return std::make_unique<LazyCtaScheduler>(config);
+      case CtaSchedKind::Block:
+        return std::make_unique<BlockCtaScheduler>(config);
+      case CtaSchedKind::LazyBlock:
+        return std::make_unique<LazyBlockCtaScheduler>(config);
+      case CtaSchedKind::Dynamic:
+        return std::make_unique<DynctaScheduler>(config);
+    }
+    panic("unknown CTA scheduler kind");
+}
+
+bool
+CtaScheduler::coreAllowed(const KernelInstance& kernel,
+                          std::uint32_t core) const
+{
+    const int begin = kernel.coreBegin;
+    const int end =
+        kernel.coreEnd < 0 ? static_cast<int>(config_.numCores)
+                           : kernel.coreEnd;
+    return static_cast<int>(core) >= begin && static_cast<int>(core) < end;
+}
+
+bool
+CtaScheduler::coreFitsN(const SimtCore& core, const KernelInfo& kernel,
+                        std::uint32_t n) const
+{
+    const CtaFootprint fp = ctaFootprint(kernel);
+    const CoreResources& res = core.resources();
+    return res.freeCtaSlots() >= n &&
+        res.freeThreads() >= n * fp.threads &&
+        res.freeRegs() >= n * fp.regs &&
+        res.freeSmem() >= n * fp.smemBytes;
+}
+
+std::uint32_t
+CtaScheduler::staticCap(const KernelInfo& kernel) const
+{
+    const std::uint32_t occ = maxCtasPerCore(config_, kernel);
+    if (config_.staticCtaLimit == 0)
+        return occ;
+    return std::min(occ, config_.staticCtaLimit);
+}
+
+void
+CtaScheduler::dispatch(Cycle now, KernelInstance& kernel, SimtCore& core,
+                       std::uint64_t block_seq)
+{
+    if (kernel.dispatchDone())
+        panic("cta scheduler: dispatch past end of grid");
+    core.launchCta(now, *kernel.info, kernel.id, kernel.nextCta, block_seq);
+    ++kernel.nextCta;
+    ++dispatches_;
+}
+
+void
+RoundRobinCtaScheduler::tick(Cycle now,
+                             std::vector<KernelInstance>& kernels,
+                             CoreList& cores)
+{
+    // At most one CTA dispatched per core per cycle, kernels offered in
+    // priority order, cores visited round-robin.
+    std::vector<bool> used(cores.size(), false);
+
+    std::vector<KernelInstance*> order;
+    for (KernelInstance& kernel : kernels) {
+        if (!kernel.dispatchDone())
+            order.push_back(&kernel);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const KernelInstance* a, const KernelInstance* b) {
+                         return a->priority < b->priority;
+                     });
+
+    for (KernelInstance* kernel : order) {
+        const std::uint32_t cap = staticCap(*kernel->info);
+        for (std::uint32_t i = 0;
+             i < cores.size() && !kernel->dispatchDone(); ++i) {
+            const std::uint32_t c =
+                (rrCore_ + i) % static_cast<std::uint32_t>(cores.size());
+            SimtCore& core = *cores[c];
+            if (used[c] || !coreAllowed(*kernel, c))
+                continue;
+            if (core.residentCtas(kernel->id) >= cap)
+                continue;
+            if (!core.canAccept(*kernel->info))
+                continue;
+            dispatch(now, *kernel, core, blockSeqCounter_++);
+            used[c] = true;
+        }
+    }
+    rrCore_ = (rrCore_ + 1) % static_cast<std::uint32_t>(cores.size());
+}
+
+} // namespace bsched

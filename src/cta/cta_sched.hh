@@ -1,0 +1,111 @@
+/**
+ * @file
+ * CTA (thread block) scheduler interface and the baseline GigaThread-like
+ * round-robin policy: greedily fill every core to its occupancy limit,
+ * assigning CTAs to cores in round-robin order.
+ */
+
+#ifndef BSCHED_CTA_CTA_SCHED_HH
+#define BSCHED_CTA_CTA_SCHED_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/simt_core.hh"
+#include "kernel/kernel_info.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+/** A kernel in flight on the GPU. */
+struct KernelInstance
+{
+    const KernelInfo* info = nullptr;
+    int id = kInvalidId;
+    std::uint32_t nextCta = 0;  ///< next CTA id to dispatch
+    std::uint32_t ctasDone = 0;
+    Cycle launchCycle = 0;
+    Cycle doneCycle = kCycleNever;
+    /** Core range this kernel may use (spatial partitioning); end
+     *  exclusive, -1 = all cores. */
+    int coreBegin = 0;
+    int coreEnd = -1;
+    /** Dispatch priority: lower values are offered CTAs first. */
+    int priority = 0;
+
+    bool dispatchDone() const { return nextCta >= info->gridCtas(); }
+    bool finished() const { return ctasDone >= info->gridCtas(); }
+};
+
+using CoreList = std::vector<std::unique_ptr<SimtCore>>;
+
+/** Policy deciding which CTA goes to which core, and when. */
+class CtaScheduler
+{
+  public:
+    explicit CtaScheduler(const GpuConfig& config);
+    virtual ~CtaScheduler() = default;
+
+    /** Attempt dispatches for this cycle. */
+    virtual void tick(Cycle now, std::vector<KernelInstance>& kernels,
+                      CoreList& cores) = 0;
+
+    /** A CTA finished on a core (book-keeping hook for LCS). */
+    virtual void notifyCtaDone(Cycle now, const CtaDoneEvent& event,
+                               CoreList& cores);
+
+    /** Human-readable policy name. */
+    virtual const char* name() const = 0;
+
+    /** Export policy-internal stats (e.g. LCS decisions). */
+    virtual void addStats(StatSet& stats) const;
+
+    /** Factory from configuration. */
+    static std::unique_ptr<CtaScheduler> create(const GpuConfig& config);
+
+  protected:
+    /** True if @p core is within the kernel's core range. */
+    bool coreAllowed(const KernelInstance& kernel,
+                     std::uint32_t core) const;
+
+    /** True if @p n more CTAs of @p kernel fit on @p core right now. */
+    bool coreFitsN(const SimtCore& core, const KernelInfo& kernel,
+                   std::uint32_t n) const;
+
+    /**
+     * Per-core CTA cap for @p kernel from the static limit sweep knob
+     * (oracle experiments): min(occupancy max, staticCtaLimit if set).
+     */
+    std::uint32_t staticCap(const KernelInfo& kernel) const;
+
+    /** Dispatch one CTA of @p kernel to @p core. */
+    void dispatch(Cycle now, KernelInstance& kernel, SimtCore& core,
+                  std::uint64_t block_seq);
+
+    GpuConfig config_;
+    std::uint64_t blockSeqCounter_ = 0;
+    std::uint64_t dispatches_ = 0;
+};
+
+/** Baseline: greedy round-robin to maximum occupancy. */
+class RoundRobinCtaScheduler : public CtaScheduler
+{
+  public:
+    explicit RoundRobinCtaScheduler(const GpuConfig& config)
+        : CtaScheduler(config)
+    {}
+
+    void tick(Cycle now, std::vector<KernelInstance>& kernels,
+              CoreList& cores) override;
+
+    const char* name() const override { return "rr"; }
+
+  private:
+    std::uint32_t rrCore_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CTA_CTA_SCHED_HH

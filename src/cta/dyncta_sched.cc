@@ -1,0 +1,109 @@
+#include "cta/dyncta_sched.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+DynctaScheduler::DynctaScheduler(const GpuConfig& config)
+    : CtaScheduler(config), state_(config.numCores)
+{
+    // Start mid-range, as the original controller does, and search from
+    // there.
+    const std::uint32_t start =
+        std::max<std::uint32_t>(1, config.maxCtasPerCore / 2);
+    for (CoreState& cs : state_) {
+        cs.target = start;
+        cs.nextSample = config.dyncta.samplePeriod;
+    }
+}
+
+std::uint32_t
+DynctaScheduler::target(std::uint32_t core) const
+{
+    return state_.at(core).target;
+}
+
+void
+DynctaScheduler::sample(Cycle now, std::uint32_t core_id,
+                        const SimtCore& core)
+{
+    CoreState& cs = state_[core_id];
+    const std::uint64_t mem = core.memStallCycles() - cs.lastMemStall;
+    const std::uint64_t idle = core.idleStallCycles() - cs.lastIdleStall;
+    cs.lastMemStall = core.memStallCycles();
+    cs.lastIdleStall = core.idleStallCycles();
+    cs.nextSample = now + config_.dyncta.samplePeriod;
+
+    const double period =
+        static_cast<double>(config_.dyncta.samplePeriod);
+    const double mem_frac = 100.0 * static_cast<double>(mem) / period;
+    const double idle_frac = 100.0 * static_cast<double>(idle) / period;
+
+    if (mem_frac > config_.dyncta.memHighPct) {
+        if (cs.target > 1) {
+            --cs.target;
+            ++cs.decreases;
+        }
+    } else if (mem_frac < config_.dyncta.memLowPct &&
+               idle_frac > config_.dyncta.idleHighPct) {
+        if (cs.target < config_.maxCtasPerCore) {
+            ++cs.target;
+            ++cs.increases;
+        }
+    }
+}
+
+void
+DynctaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
+                      CoreList& cores)
+{
+    for (std::uint32_t c = 0; c < cores.size(); ++c) {
+        if (now >= state_[c].nextSample)
+            sample(now, c, *cores[c]);
+    }
+
+    std::vector<bool> used(cores.size(), false);
+    std::vector<KernelInstance*> order;
+    for (KernelInstance& kernel : kernels) {
+        if (!kernel.dispatchDone())
+            order.push_back(&kernel);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const KernelInstance* a, const KernelInstance* b) {
+                         return a->priority < b->priority;
+                     });
+
+    for (KernelInstance* kernel : order) {
+        for (std::uint32_t c = 0;
+             c < cores.size() && !kernel->dispatchDone(); ++c) {
+            SimtCore& core = *cores[c];
+            if (used[c] || !coreAllowed(*kernel, c))
+                continue;
+            const std::uint32_t cap =
+                std::min(state_[c].target, staticCap(*kernel->info));
+            if (core.residentCtas(kernel->id) >= cap)
+                continue;
+            if (!core.canAccept(*kernel->info))
+                continue;
+            dispatch(now, *kernel, core, blockSeqCounter_++);
+            used[c] = true;
+        }
+    }
+}
+
+void
+DynctaScheduler::addStats(StatSet& stats) const
+{
+    CtaScheduler::addStats(stats);
+    for (std::size_t c = 0; c < state_.size(); ++c) {
+        const std::string prefix = "dyncta.core" + std::to_string(c);
+        stats.set(prefix + ".target",
+                  static_cast<double>(state_[c].target));
+        stats.set(prefix + ".inc", static_cast<double>(state_[c].increases));
+        stats.set(prefix + ".dec", static_cast<double>(state_[c].decreases));
+    }
+}
+
+} // namespace bsched

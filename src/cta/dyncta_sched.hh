@@ -1,0 +1,55 @@
+/**
+ * @file
+ * DYNCTA-style dynamic CTA controller (Kayiran et al., "Neither More
+ * Nor Less", PACT 2013) — the iterative comparator the paper's LCS is
+ * positioned against. Each sampling period, every core classifies its
+ * no-issue cycles as memory-stalled or idle-starved and nudges a
+ * per-core CTA target down (memory-bound) or up (starved). Contrast
+ * with LCS, which makes one decision from one monitoring window.
+ */
+
+#ifndef BSCHED_CTA_DYNCTA_SCHED_HH
+#define BSCHED_CTA_DYNCTA_SCHED_HH
+
+#include <vector>
+
+#include "cta/cta_sched.hh"
+
+namespace bsched {
+
+/** Periodic up/down CTA-count controller. */
+class DynctaScheduler : public CtaScheduler
+{
+  public:
+    explicit DynctaScheduler(const GpuConfig& config);
+
+    void tick(Cycle now, std::vector<KernelInstance>& kernels,
+              CoreList& cores) override;
+
+    const char* name() const override { return "dyncta"; }
+
+    void addStats(StatSet& stats) const override;
+
+    /** Current per-core CTA target (tests/benches). */
+    std::uint32_t target(std::uint32_t core) const;
+
+  private:
+    struct CoreState
+    {
+        std::uint32_t target = 0;
+        Cycle nextSample = 0;
+        std::uint64_t lastIssue = 0;
+        std::uint64_t lastMemStall = 0;
+        std::uint64_t lastIdleStall = 0;
+        std::uint64_t increases = 0;
+        std::uint64_t decreases = 0;
+    };
+
+    void sample(Cycle now, std::uint32_t core_id, const SimtCore& core);
+
+    std::vector<CoreState> state_;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_CTA_DYNCTA_SCHED_HH

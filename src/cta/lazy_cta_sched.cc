@@ -1,0 +1,146 @@
+#include "cta/lazy_cta_sched.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+void
+LazyCtaScheduler::decide(std::uint32_t core_id, int kernel_id,
+                         std::uint32_t n_max, const SimtCore& core)
+{
+    Monitor& mon = monitors_[{core_id, kernel_id}];
+    if (mon.decided)
+        return;
+    const std::vector<std::uint64_t> counts =
+        core.ctaIssueCounts(kernel_id);
+    std::uint64_t total = 0;
+    std::uint64_t greedy = 0;
+    for (std::uint64_t c : counts) {
+        total += c;
+        greedy = std::max(greedy, c);
+    }
+    std::uint32_t n_opt = n_max;
+    if (greedy > 0) {
+        switch (config_.lcs.estimator) {
+          case LcsEstimator::IssueRatio:
+            // The paper's formula.
+            n_opt = static_cast<std::uint32_t>(
+                (total + greedy - 1) / greedy);
+            break;
+          case LcsEstimator::Threshold: {
+            // Count CTAs contributing at least thresholdPct% of the
+            // greedy CTA's issue.
+            const std::uint64_t cut =
+                greedy * config_.lcs.thresholdPct / 100;
+            n_opt = 0;
+            for (std::uint64_t c : counts) {
+                if (c >= cut)
+                    ++n_opt;
+            }
+            break;
+          }
+        }
+        n_opt += config_.lcs.slackCtas;
+    }
+    mon.nOpt = std::clamp<std::uint32_t>(n_opt, 1, n_max);
+    mon.decided = true;
+}
+
+std::uint32_t
+LazyCtaScheduler::decidedLimit(std::uint32_t core, int kernel_id) const
+{
+    auto it = monitors_.find({core, kernel_id});
+    if (it == monitors_.end() || !it->second.decided)
+        return 0;
+    return it->second.nOpt;
+}
+
+std::uint32_t
+LazyCtaScheduler::capFor(std::uint32_t core_id,
+                         const KernelInstance& kernel) const
+{
+    const std::uint32_t limit = decidedLimit(core_id, kernel.id);
+    const std::uint32_t occ = staticCap(*kernel.info);
+    return limit == 0 ? occ : std::min(limit, occ);
+}
+
+void
+LazyCtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
+                                CoreList& cores)
+{
+    (void)now;
+    if (config_.lcs.windowMode != LcsWindowMode::FirstCtaDone)
+        return;
+    // The first completed CTA of a kernel on a core closes that core's
+    // monitoring window; decide() is idempotent per (core, kernel).
+    decide(event.coreId, event.kernelId, config_.maxCtasPerCore,
+           *cores.at(event.coreId));
+}
+
+void
+LazyCtaScheduler::closeExpiredWindows(
+    Cycle now, const std::vector<KernelInstance>& kernels,
+    const CoreList& cores)
+{
+    if (config_.lcs.windowMode != LcsWindowMode::FixedCycles)
+        return;
+    for (const KernelInstance& kernel : kernels) {
+        for (std::uint32_t c = 0; c < cores.size(); ++c) {
+            const Cycle start = cores[c]->kernelFirstLaunch(kernel.id);
+            if (start == kCycleNever)
+                continue;
+            if (now >= start + config_.lcs.fixedWindowCycles)
+                decide(c, kernel.id, staticCap(*kernel.info), *cores[c]);
+        }
+    }
+}
+
+void
+LazyCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
+                       CoreList& cores)
+{
+    closeExpiredWindows(now, kernels, cores);
+
+    std::vector<bool> used(cores.size(), false);
+    std::vector<KernelInstance*> order;
+    for (KernelInstance& kernel : kernels) {
+        if (!kernel.dispatchDone())
+            order.push_back(&kernel);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [](const KernelInstance* a, const KernelInstance* b) {
+                         return a->priority < b->priority;
+                     });
+
+    for (KernelInstance* kernel : order) {
+        for (std::uint32_t c = 0;
+             c < cores.size() && !kernel->dispatchDone(); ++c) {
+            SimtCore& core = *cores[c];
+            if (used[c] || !coreAllowed(*kernel, c))
+                continue;
+            if (core.residentCtas(kernel->id) >= capFor(c, *kernel))
+                continue;
+            if (!core.canAccept(*kernel->info))
+                continue;
+            dispatch(now, *kernel, core, blockSeqCounter_++);
+            used[c] = true;
+        }
+    }
+}
+
+void
+LazyCtaScheduler::addStats(StatSet& stats) const
+{
+    CtaScheduler::addStats(stats);
+    for (const auto& [key, mon] : monitors_) {
+        if (mon.decided) {
+            stats.set("lcs.core" + std::to_string(key.first) + ".k" +
+                          std::to_string(key.second) + ".n_opt",
+                      static_cast<double>(mon.nOpt));
+        }
+    }
+}
+
+} // namespace bsched

@@ -1,0 +1,231 @@
+#include "gpu/gpu.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+Gpu::Gpu(const GpuConfig& config)
+    : config_(config), icnt_(config)
+{
+    config_.validate();
+    for (std::uint32_t c = 0; c < config_.numCores; ++c)
+        cores_.push_back(std::make_unique<SimtCore>(config_, c));
+    for (std::uint32_t p = 0; p < config_.numMemPartitions; ++p)
+        partitions_.push_back(std::make_unique<MemPartition>(config_, p));
+    ctaSched_ = CtaScheduler::create(config_);
+}
+
+int
+Gpu::launchKernel(const KernelInfo& kernel, int core_begin, int core_end,
+                  int priority)
+{
+    kernel.validate();
+    if (core_begin < 0 || core_begin >= static_cast<int>(config_.numCores))
+        fatal("launchKernel: bad core_begin ", core_begin);
+    if (core_end > static_cast<int>(config_.numCores))
+        fatal("launchKernel: bad core_end ", core_end);
+    // Ensure at least one CTA can ever be placed.
+    maxCtasPerCore(config_, kernel);
+
+    KernelInstance inst;
+    inst.info = &kernel;
+    inst.id = static_cast<int>(kernels_.size());
+    inst.launchCycle = cycle_;
+    inst.coreBegin = core_begin;
+    inst.coreEnd = core_end;
+    inst.priority = priority;
+    kernels_.push_back(inst);
+    return inst.id;
+}
+
+bool
+Gpu::finished() const
+{
+    for (const KernelInstance& kernel : kernels_) {
+        if (!kernel.finished())
+            return false;
+    }
+    return true;
+}
+
+void
+Gpu::moveMemoryTraffic()
+{
+    const Cycle now = cycle_;
+
+    // Partition replies -> interconnect (bounded injection per cycle).
+    for (auto& part : partitions_) {
+        for (std::uint32_t k = 0; k < config_.icntFlitsPerCycle; ++k) {
+            if (!part->responseReady())
+                break;
+            const MemResponse& resp = part->peekResponse();
+            if (!icnt_.canSendResponse(resp.coreId))
+                break; // head-of-line blocked; retry next cycle
+            icnt_.sendResponse(now, resp.coreId, resp);
+            part->popResponse();
+        }
+    }
+
+    // Interconnect -> partitions (ejection bandwidth + input capacity).
+    for (std::uint32_t p = 0; p < partitions_.size(); ++p) {
+        while (icnt_.requestReady(p, now) &&
+               partitions_[p]->canAcceptRequest() &&
+               icnt_.ejectBudget(p, now)) {
+            partitions_[p]->pushRequest(now, icnt_.popRequest(p, now));
+        }
+    }
+
+    // Interconnect -> cores (fill responses).
+    for (std::uint32_t c = 0; c < cores_.size(); ++c) {
+        while (icnt_.responseReady(c, now) &&
+               icnt_.responseEjectBudget(c, now)) {
+            cores_[c]->deliverResponse(now, icnt_.popResponse(c, now));
+        }
+    }
+
+    // Cores -> interconnect (requests).
+    for (auto& core : cores_) {
+        for (std::uint32_t k = 0; k < config_.icntFlitsPerCycle; ++k) {
+            if (!core->hasOutgoing())
+                break;
+            const std::uint32_t p =
+                icnt_.partitionFor(core->peekOutgoing().lineAddr);
+            if (!icnt_.canSendRequest(p))
+                break; // head-of-line blocked
+            icnt_.sendRequest(now, core->popOutgoing());
+        }
+    }
+}
+
+bool
+Gpu::stepCycle()
+{
+    const Cycle now = cycle_;
+
+    for (auto& part : partitions_)
+        part->tick(now);
+
+    moveMemoryTraffic();
+
+    for (auto& core : cores_)
+        core->tick(now);
+
+    // Collect CTA completions and update kernel instances.
+    for (auto& core : cores_) {
+        for (const CtaDoneEvent& event : core->drainCompletedCtas()) {
+            KernelInstance& kernel =
+                kernels_.at(static_cast<std::size_t>(event.kernelId));
+            ++kernel.ctasDone;
+            if (kernel.finished() && kernel.doneCycle == kCycleNever)
+                kernel.doneCycle = now;
+            ctaSched_->notifyCtaDone(now, event, cores_);
+        }
+    }
+
+    ctaSched_->tick(now, kernels_, cores_);
+
+    ++cycle_;
+    if (cycle_ >= config_.maxCycles)
+        fatal("gpu: exceeded maxCycles (", config_.maxCycles,
+              ") — likely deadlock or undersized budget");
+    return !finished();
+}
+
+bool
+Gpu::drained() const
+{
+    for (const auto& core : cores_) {
+        if (!core->idle())
+            return false;
+    }
+    if (!icnt_.drained())
+        return false;
+    for (const auto& part : partitions_) {
+        if (!part->drained())
+            return false;
+    }
+    return true;
+}
+
+void
+Gpu::run()
+{
+    if (kernels_.empty())
+        fatal("gpu: run() without any launched kernel");
+    while (stepCycle()) {
+    }
+    // Kernel-boundary fence: drain in-flight stores and write-backs so
+    // statistics are conserved and a subsequent launch starts clean.
+    while (!drained())
+        stepCycle();
+}
+
+const KernelInstance&
+Gpu::kernel(int id) const
+{
+    return kernels_.at(static_cast<std::size_t>(id));
+}
+
+Cycle
+Gpu::kernelCycles(int id) const
+{
+    const KernelInstance& inst = kernel(id);
+    if (inst.doneCycle == kCycleNever)
+        fatal("gpu: kernel ", id, " has not finished");
+    return inst.doneCycle - inst.launchCycle + 1;
+}
+
+std::uint64_t
+Gpu::totalInstrsIssued() const
+{
+    std::uint64_t total = 0;
+    for (const auto& core : cores_)
+        total += core->instrsIssued();
+    return total;
+}
+
+double
+Gpu::ipc() const
+{
+    if (cycle_ == 0)
+        return 0.0;
+    return static_cast<double>(totalInstrsIssued()) /
+        static_cast<double>(cycle_);
+}
+
+double
+Gpu::kernelIpc(int id) const
+{
+    std::uint64_t issued = 0;
+    for (const auto& core : cores_)
+        issued += core->instrsIssued(id);
+    return static_cast<double>(issued) /
+        static_cast<double>(kernelCycles(id));
+}
+
+StatSet
+Gpu::stats() const
+{
+    StatSet stats;
+    stats.set("gpu.cycles", static_cast<double>(cycle_));
+    stats.set("gpu.ipc", ipc());
+    stats.set("gpu.instrs", static_cast<double>(totalInstrsIssued()));
+    for (const auto& core : cores_)
+        core->addStats(stats);
+    for (const auto& part : partitions_)
+        part->addStats(stats);
+    icnt_.addStats(stats);
+    ctaSched_->addStats(stats);
+    for (const KernelInstance& kernel : kernels_) {
+        const std::string prefix = "kernel" + std::to_string(kernel.id);
+        stats.set(prefix + ".ctas", kernel.info->gridCtas());
+        if (kernel.doneCycle != kCycleNever) {
+            stats.set(prefix + ".cycles",
+                      static_cast<double>(kernelCycles(kernel.id)));
+            stats.set(prefix + ".ipc", kernelIpc(kernel.id));
+        }
+    }
+    return stats;
+}
+
+} // namespace bsched

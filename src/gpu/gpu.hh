@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The whole-GPU model: SIMT cores, interconnect, memory partitions and
+ * the CTA scheduler, advanced in lock-step one core clock at a time.
+ */
+
+#ifndef BSCHED_GPU_GPU_HH
+#define BSCHED_GPU_GPU_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cta/cta_sched.hh"
+#include "mem/interconnect.hh"
+#include "mem/mem_partition.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+/** Top-level simulator. */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuConfig& config);
+
+    /**
+     * Register a kernel for execution. The KernelInfo must outlive the
+     * Gpu. @p core_begin / @p core_end (exclusive, -1 = all) restrict the
+     * kernel to a core range (spatial partitioning); @p priority orders
+     * dispatch when kernels compete (lower first).
+     * @return the kernel id.
+     */
+    int launchKernel(const KernelInfo& kernel, int core_begin = 0,
+                     int core_end = -1, int priority = 0);
+
+    /** Advance one cycle; returns true while work remains. */
+    bool stepCycle();
+
+    /** Run to completion of all launched kernels. */
+    void run();
+
+    Cycle cycle() const { return cycle_; }
+
+    /** True once every launched kernel has finished. */
+    bool finished() const;
+
+    /** True when no memory traffic is in flight anywhere. */
+    bool drained() const;
+
+    const KernelInstance& kernel(int id) const;
+    std::size_t kernelCount() const { return kernels_.size(); }
+
+    /** Cycles from a kernel's launch to its last CTA completion. */
+    Cycle kernelCycles(int id) const;
+
+    /** Whole-GPU instructions per cycle over the simulated interval. */
+    double ipc() const;
+
+    /** IPC attributed to one kernel (its instructions / its runtime). */
+    double kernelIpc(int id) const;
+
+    std::uint64_t totalInstrsIssued() const;
+
+    /** Collect statistics from every component. */
+    StatSet stats() const;
+
+    const GpuConfig& config() const { return config_; }
+    const CoreList& cores() const { return cores_; }
+    const CtaScheduler& ctaScheduler() const { return *ctaSched_; }
+
+  private:
+    void moveMemoryTraffic();
+
+    GpuConfig config_;
+    CoreList cores_;
+    std::vector<std::unique_ptr<MemPartition>> partitions_;
+    Interconnect icnt_;
+    std::unique_ptr<CtaScheduler> ctaSched_;
+    std::vector<KernelInstance> kernels_;
+    Cycle cycle_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_GPU_GPU_HH

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-kernel execution policies (the paper's third mechanism).
+ *
+ *  - Sequential: kernels run back-to-back on the whole GPU (the classic
+ *    execution model).
+ *  - Spatial: concurrent kernels on disjoint core subsets (Fermi-style
+ *    concurrent kernel execution).
+ *  - Mixed (MCK): concurrent kernels share every core; LCS monitoring
+ *    limits each kernel to its per-core N_opt so the leftover resources
+ *    host the partner kernel's CTAs.
+ */
+
+#ifndef BSCHED_GPU_MULTI_KERNEL_HH
+#define BSCHED_GPU_MULTI_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "kernel/kernel_info.hh"
+#include "sim/config.hh"
+
+namespace bsched {
+
+/** How concurrent kernels share the machine. */
+enum class MultiKernelPolicy
+{
+    Sequential,
+    Spatial,
+    Mixed,
+};
+
+const char* toString(MultiKernelPolicy policy);
+
+/** Outcome of a multi-kernel run. */
+struct MultiKernelReport
+{
+    MultiKernelPolicy policy{};
+    Cycle totalCycles = 0;
+    /** Per-kernel cycles when run alone on the whole GPU. */
+    std::vector<Cycle> isolatedCycles;
+    /** Per-kernel cycles under the policy (launch to completion). */
+    std::vector<Cycle> sharedCycles;
+    StatSet stats;
+
+    /** System throughput: sum of per-kernel isolated/shared speedups. */
+    double stp() const;
+
+    /** Average normalized turnaround time: mean of shared/isolated. */
+    double antt() const;
+};
+
+/**
+ * Run @p kernels under @p policy on @p config. For Spatial, cores are
+ * split evenly (in launch order) unless @p spatial_split gives explicit
+ * boundaries (ascending core indices, one per kernel boundary).
+ * Isolated baselines are simulated with the same config on the full
+ * machine, unless @p isolated_cycles supplies precomputed values (one
+ * per kernel), which avoids re-simulating them across policies.
+ */
+MultiKernelReport runMultiKernel(const GpuConfig& config,
+                                 const std::vector<const KernelInfo*>& kernels,
+                                 MultiKernelPolicy policy,
+                                 std::vector<int> spatial_split = {},
+                                 const std::vector<Cycle>* isolated_cycles =
+                                     nullptr);
+
+} // namespace bsched
+
+#endif // BSCHED_GPU_MULTI_KERNEL_HH

@@ -1,0 +1,99 @@
+#include "harness/runner.hh"
+
+#include "kernel/occupancy.hh"
+#include "workloads/suite.hh"
+
+namespace bsched {
+
+namespace {
+
+double
+missRate(const StatSet& stats, const std::string& access_suffix,
+         const std::string& miss_suffix)
+{
+    const double access = stats.sumBySuffix(access_suffix);
+    const double miss = stats.sumBySuffix(miss_suffix);
+    return access > 0.0 ? miss / access : 0.0;
+}
+
+} // namespace
+
+double
+RunResult::l1MissRate() const
+{
+    return missRate(stats, ".l1d.access", ".l1d.miss");
+}
+
+double
+RunResult::l2MissRate() const
+{
+    return missRate(stats, ".l2.access", ".l2.miss");
+}
+
+double
+RunResult::dramRowHitRate() const
+{
+    const double hits = stats.sumBySuffix(".dram.row_hit");
+    const double total = hits + stats.sumBySuffix(".dram.row_miss");
+    return total > 0.0 ? hits / total : 0.0;
+}
+
+RunResult
+runKernel(const GpuConfig& config, const KernelInfo& kernel)
+{
+    Gpu gpu(config);
+    gpu.launchKernel(kernel);
+    gpu.run();
+    RunResult result;
+    result.cycles = gpu.cycle();
+    result.instrs = gpu.totalInstrsIssued();
+    result.ipc = gpu.ipc();
+    result.stats = gpu.stats();
+    return result;
+}
+
+RunResult
+runWorkload(const GpuConfig& config, const std::string& name)
+{
+    const KernelInfo kernel = makeWorkload(name);
+    return runKernel(config, kernel);
+}
+
+std::vector<RunResult>
+sweepCtaLimit(GpuConfig config, const KernelInfo& kernel,
+              std::uint32_t limit_max)
+{
+    std::vector<RunResult> results;
+    for (std::uint32_t limit = 1; limit <= limit_max; ++limit) {
+        config.staticCtaLimit = limit;
+        results.push_back(runKernel(config, kernel));
+    }
+    return results;
+}
+
+OracleResult
+oracleStaticBest(const GpuConfig& config, const KernelInfo& kernel)
+{
+    OracleResult oracle;
+    oracle.maxLimit = maxCtasPerCore(config, kernel);
+    oracle.byLimit = sweepCtaLimit(config, kernel, oracle.maxLimit);
+    oracle.bestLimit = 1;
+    for (std::uint32_t limit = 2; limit <= oracle.maxLimit; ++limit) {
+        if (oracle.byLimit[limit - 1].ipc >
+            oracle.byLimit[oracle.bestLimit - 1].ipc) {
+            oracle.bestLimit = limit;
+        }
+    }
+    return oracle;
+}
+
+GpuConfig
+makeConfig(WarpSchedKind warp_sched, CtaSchedKind cta_sched)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.warpSched = warp_sched;
+    config.ctaSched = cta_sched;
+    return config;
+}
+
+} // namespace bsched

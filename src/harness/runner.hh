@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Experiment harness: single-kernel runs, static CTA-limit sweeps and
+ * oracle selection. Shared by the bench binaries, examples and the
+ * integration tests.
+ */
+
+#ifndef BSCHED_HARNESS_RUNNER_HH
+#define BSCHED_HARNESS_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/gpu.hh"
+#include "kernel/kernel_info.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+/** Outcome of one simulated kernel run. */
+struct RunResult
+{
+    Cycle cycles = 0;
+    std::uint64_t instrs = 0;
+    double ipc = 0.0;
+    StatSet stats;
+
+    /** Aggregate L1D miss rate across all cores (loads + stores). */
+    double l1MissRate() const;
+
+    /** Aggregate L2 miss rate across partitions. */
+    double l2MissRate() const;
+
+    /** DRAM row-buffer hit rate across channels. */
+    double dramRowHitRate() const;
+};
+
+/** Run one kernel to completion under @p config. */
+RunResult runKernel(const GpuConfig& config, const KernelInfo& kernel);
+
+/** Run a suite workload by name. */
+RunResult runWorkload(const GpuConfig& config, const std::string& name);
+
+/**
+ * Run @p kernel once per static CTA limit in [1, limit_max], returning
+ * results indexed by limit-1. Uses the baseline round-robin scheduler.
+ */
+std::vector<RunResult> sweepCtaLimit(GpuConfig config,
+                                     const KernelInfo& kernel,
+                                     std::uint32_t limit_max);
+
+/** The static-best CTA limit for a kernel (the paper's oracle). */
+struct OracleResult
+{
+    std::uint32_t bestLimit = 0;
+    std::uint32_t maxLimit = 0;
+    std::vector<RunResult> byLimit; ///< index = limit - 1
+};
+
+/** Sweep limits up to the kernel's occupancy max and pick the best IPC. */
+OracleResult oracleStaticBest(const GpuConfig& config,
+                              const KernelInfo& kernel);
+
+/** Convenience: a GTX480-class config with the given policies. */
+GpuConfig makeConfig(WarpSchedKind warp_sched, CtaSchedKind cta_sched);
+
+} // namespace bsched
+
+#endif // BSCHED_HARNESS_RUNNER_HH

@@ -1,0 +1,53 @@
+#include "isa/opcode.hh"
+
+namespace bsched {
+
+bool
+isMemory(Opcode op)
+{
+    switch (op) {
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isGlobalMemory(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::StGlobal;
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LdGlobal || op == Opcode::LdShared;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::StGlobal || op == Opcode::StShared;
+}
+
+const char*
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::Alu: return "alu";
+      case Opcode::Sfu: return "sfu";
+      case Opcode::LdGlobal: return "ld.global";
+      case Opcode::StGlobal: return "st.global";
+      case Opcode::LdShared: return "ld.shared";
+      case Opcode::StShared: return "st.shared";
+      case Opcode::Bar: return "bar.sync";
+      case Opcode::Exit: return "exit";
+    }
+    return "?";
+}
+
+} // namespace bsched

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Opcode set for the synthetic SASS-like instruction model. The simulator
+ * is a performance model: instructions carry register dependencies,
+ * latency class and (for memory ops) an address-pattern id, but no data
+ * semantics.
+ */
+
+#ifndef BSCHED_ISA_OPCODE_HH
+#define BSCHED_ISA_OPCODE_HH
+
+#include <cstdint>
+
+namespace bsched {
+
+/** Instruction kinds recognized by the SIMT core. */
+enum class Opcode : std::uint8_t
+{
+    Alu,      ///< integer/FP ALU op (aluLatency)
+    Sfu,      ///< special-function op (sfuLatency, SFU port limited)
+    LdGlobal, ///< global-memory load through coalescer/L1/L2/DRAM
+    StGlobal, ///< global-memory store (write-through, fire-and-forget)
+    LdShared, ///< shared-memory load (bank-conflict model)
+    StShared, ///< shared-memory store
+    Bar,      ///< CTA-wide barrier
+    Exit,     ///< warp terminates
+};
+
+/** True for LdGlobal/StGlobal/LdShared/StShared. */
+bool isMemory(Opcode op);
+
+/** True for LdGlobal/StGlobal. */
+bool isGlobalMemory(Opcode op);
+
+/** True for loads (global or shared). */
+bool isLoad(Opcode op);
+
+/** True for stores (global or shared). */
+bool isStore(Opcode op);
+
+/** Short mnemonic, e.g. "ld.global". */
+const char* mnemonic(Opcode op);
+
+} // namespace bsched
+
+#endif // BSCHED_ISA_OPCODE_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * CUDA-style 3-component launch dimensions.
+ */
+
+#ifndef BSCHED_KERNEL_DIM3_HH
+#define BSCHED_KERNEL_DIM3_HH
+
+#include <cstdint>
+#include <string>
+
+namespace bsched {
+
+/** A (x, y, z) launch dimension; total() is the linearized extent. */
+struct Dim3
+{
+    std::uint32_t x = 1;
+    std::uint32_t y = 1;
+    std::uint32_t z = 1;
+
+    constexpr std::uint64_t
+    total() const
+    {
+        return static_cast<std::uint64_t>(x) * y * z;
+    }
+
+    std::string
+    toString() const
+    {
+        return "(" + std::to_string(x) + "," + std::to_string(y) + "," +
+            std::to_string(z) + ")";
+    }
+
+    friend bool
+    operator==(const Dim3& a, const Dim3& b)
+    {
+        return a.x == b.x && a.y == b.y && a.z == b.z;
+    }
+};
+
+} // namespace bsched
+
+#endif // BSCHED_KERNEL_DIM3_HH

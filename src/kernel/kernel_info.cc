@@ -1,0 +1,44 @@
+#include "kernel/kernel_info.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+const char*
+toString(WorkloadType type)
+{
+    switch (type) {
+      case WorkloadType::Unknown: return "?";
+      case WorkloadType::Saturating: return "type-1";
+      case WorkloadType::Increasing: return "type-2";
+      case WorkloadType::Peaked: return "type-3";
+    }
+    return "?";
+}
+
+std::uint64_t
+KernelInfo::totalDynamicInstrs() const
+{
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < gridCtas(); ++c)
+        total += program.dynamicInstrCount(c) * warpsPerCta();
+    return total;
+}
+
+void
+KernelInfo::validate() const
+{
+    if (name.empty())
+        fatal("kernel: empty name");
+    if (grid.total() == 0 || cta.total() == 0)
+        fatal("kernel ", name, ": zero grid or CTA dimension");
+    if (grid.total() > (1ULL << 31))
+        fatal("kernel ", name, ": grid too large");
+    if (ctaThreads() > 1024)
+        fatal("kernel ", name, ": CTA exceeds 1024 threads");
+    if (regsPerThread == 0)
+        fatal("kernel ", name, ": regsPerThread must be > 0");
+    program.validate();
+}
+
+} // namespace bsched

@@ -1,0 +1,110 @@
+#include "kernel/occupancy.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+CtaFootprint
+ctaFootprint(const KernelInfo& kernel)
+{
+    CtaFootprint fp;
+    fp.warps = kernel.warpsPerCta();
+    fp.threads = fp.warps * kWarpSize;
+    fp.regs = fp.threads * kernel.regsPerThread;
+    fp.smemBytes = kernel.smemBytesPerCta;
+    return fp;
+}
+
+std::uint32_t
+maxCtasPerCore(const GpuConfig& config, const KernelInfo& kernel)
+{
+    const CtaFootprint fp = ctaFootprint(kernel);
+    if (fp.threads > config.maxThreadsPerCore ||
+        fp.regs > config.regFileSizePerCore ||
+        fp.smemBytes > config.smemBytesPerCore) {
+        fatal("kernel ", kernel.name, ": one CTA exceeds core resources");
+    }
+    std::uint32_t by_threads = config.maxThreadsPerCore / fp.threads;
+    std::uint32_t by_regs = config.regFileSizePerCore / fp.regs;
+    std::uint32_t by_smem = fp.smemBytes == 0
+        ? config.maxCtasPerCore
+        : config.smemBytesPerCore / fp.smemBytes;
+    return std::min({config.maxCtasPerCore, by_threads, by_regs, by_smem});
+}
+
+const char*
+toString(OccupancyLimiter limiter)
+{
+    switch (limiter) {
+      case OccupancyLimiter::CtaSlots: return "cta-slots";
+      case OccupancyLimiter::Threads: return "threads";
+      case OccupancyLimiter::Registers: return "registers";
+      case OccupancyLimiter::SharedMem: return "shared-mem";
+    }
+    return "?";
+}
+
+OccupancyLimiter
+occupancyLimiter(const GpuConfig& config, const KernelInfo& kernel)
+{
+    const CtaFootprint fp = ctaFootprint(kernel);
+    const std::uint32_t n = maxCtasPerCore(config, kernel);
+    if (n == config.maxCtasPerCore)
+        return OccupancyLimiter::CtaSlots;
+    if (n == config.maxThreadsPerCore / fp.threads)
+        return OccupancyLimiter::Threads;
+    if (n == config.regFileSizePerCore / fp.regs)
+        return OccupancyLimiter::Registers;
+    return OccupancyLimiter::SharedMem;
+}
+
+CoreResources::CoreResources(const GpuConfig& config)
+    : totalCtaSlots_(config.maxCtasPerCore),
+      freeCtaSlots_(config.maxCtasPerCore),
+      freeThreads_(config.maxThreadsPerCore),
+      freeRegs_(config.regFileSizePerCore),
+      freeSmem_(config.smemBytesPerCore)
+{}
+
+bool
+CoreResources::fits(const CtaFootprint& fp) const
+{
+    return freeCtaSlots_ >= 1 && freeThreads_ >= fp.threads &&
+        freeRegs_ >= fp.regs && freeSmem_ >= fp.smemBytes;
+}
+
+void
+CoreResources::allocate(const CtaFootprint& fp)
+{
+    if (!fits(fp))
+        panic("core resources: allocate beyond capacity");
+    freeCtaSlots_ -= 1;
+    freeThreads_ -= fp.threads;
+    freeRegs_ -= fp.regs;
+    freeSmem_ -= fp.smemBytes;
+}
+
+void
+CoreResources::release(const CtaFootprint& fp)
+{
+    if (freeCtaSlots_ >= totalCtaSlots_)
+        panic("core resources: release without allocation");
+    freeCtaSlots_ += 1;
+    freeThreads_ += fp.threads;
+    freeRegs_ += fp.regs;
+    freeSmem_ += fp.smemBytes;
+}
+
+std::string
+CoreResources::toString() const
+{
+    std::ostringstream os;
+    os << "slots=" << freeCtaSlots_ << " threads=" << freeThreads_
+       << " regs=" << freeRegs_ << " smem=" << freeSmem_;
+    return os.str();
+}
+
+} // namespace bsched

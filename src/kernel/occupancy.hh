@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CUDA-style occupancy calculation: how many CTAs of a kernel fit on one
+ * SIMT core given the four hardware limits (CTA slots, threads/warps,
+ * registers, shared memory), and bookkeeping of a core's free resources
+ * as CTAs come and go. This is the N_max the paper's baseline scheduler
+ * always fills and LCS deliberately undershoots.
+ */
+
+#ifndef BSCHED_KERNEL_OCCUPANCY_HH
+#define BSCHED_KERNEL_OCCUPANCY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/kernel_info.hh"
+#include "sim/config.hh"
+
+namespace bsched {
+
+/** Per-CTA resource footprint of a kernel on a core. */
+struct CtaFootprint
+{
+    std::uint32_t threads = 0; ///< rounded up to warp granularity
+    std::uint32_t warps = 0;
+    std::uint32_t regs = 0;
+    std::uint32_t smemBytes = 0;
+};
+
+/** Footprint of one CTA of @p kernel. */
+CtaFootprint ctaFootprint(const KernelInfo& kernel);
+
+/**
+ * Maximum concurrent CTAs of @p kernel on one core of @p config
+ * (the paper's N_max). Fatal() if even one CTA does not fit.
+ */
+std::uint32_t maxCtasPerCore(const GpuConfig& config,
+                             const KernelInfo& kernel);
+
+/** Which hardware limit binds the occupancy of @p kernel. */
+enum class OccupancyLimiter { CtaSlots, Threads, Registers, SharedMem };
+
+const char* toString(OccupancyLimiter limiter);
+
+/** The binding limiter for @p kernel on @p config. */
+OccupancyLimiter occupancyLimiter(const GpuConfig& config,
+                                  const KernelInfo& kernel);
+
+/**
+ * Mutable view of one core's free resources. The CTA schedulers consult
+ * and update this as CTAs are dispatched and retired.
+ */
+class CoreResources
+{
+  public:
+    CoreResources() = default;
+    explicit CoreResources(const GpuConfig& config);
+
+    /** True if a CTA with @p fp fits right now. */
+    bool fits(const CtaFootprint& fp) const;
+
+    /** Deduct @p fp; panic() if it does not fit. */
+    void allocate(const CtaFootprint& fp);
+
+    /** Return @p fp; panic() on over-release. */
+    void release(const CtaFootprint& fp);
+
+    std::uint32_t freeCtaSlots() const { return freeCtaSlots_; }
+    std::uint32_t freeThreads() const { return freeThreads_; }
+    std::uint32_t freeRegs() const { return freeRegs_; }
+    std::uint32_t freeSmem() const { return freeSmem_; }
+
+    /** Number of CTAs currently resident. */
+    std::uint32_t residentCtas() const { return totalCtaSlots_ - freeCtaSlots_; }
+
+    std::string toString() const;
+
+  private:
+    std::uint32_t totalCtaSlots_ = 0;
+    std::uint32_t freeCtaSlots_ = 0;
+    std::uint32_t freeThreads_ = 0;
+    std::uint32_t freeRegs_ = 0;
+    std::uint32_t freeSmem_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_KERNEL_OCCUPANCY_HH

@@ -1,0 +1,180 @@
+#include "kernel/program_builder.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+ProgramBuilder::ProgramBuilder(int reg_window)
+    : regWindow_(reg_window)
+{
+    if (reg_window <= kFirstDynReg || reg_window > kMaxWarpRegs)
+        fatal("program builder: reg window must be in (",
+              kFirstDynReg, ", ", kMaxWarpRegs, "]");
+}
+
+std::uint8_t
+ProgramBuilder::pattern(const MemPattern& p)
+{
+    return prog_.addPattern(p);
+}
+
+ProgramBuilder&
+ProgramBuilder::loop(std::uint32_t trips, std::uint32_t trip_jitter_pct)
+{
+    if (open_)
+        endLoop();
+    current_ = Segment{};
+    current_.trips = trips;
+    current_.tripJitterPct = trip_jitter_pct;
+    open_ = true;
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::endLoop()
+{
+    if (!open_)
+        fatal("program builder: endLoop without open segment");
+    prog_.addSegment(std::move(current_));
+    current_ = Segment{};
+    open_ = false;
+    return *this;
+}
+
+void
+ProgramBuilder::ensureOpen()
+{
+    if (!open_) {
+        current_ = Segment{};
+        current_.trips = 1;
+        open_ = true;
+    }
+}
+
+std::int8_t
+ProgramBuilder::allocReg()
+{
+    std::int8_t reg = static_cast<std::int8_t>(nextReg_);
+    ++nextReg_;
+    if (nextReg_ >= regWindow_)
+        nextReg_ = kFirstDynReg;
+    prevDst_ = lastDst_;
+    lastDst_ = reg;
+    return reg;
+}
+
+void
+ProgramBuilder::emit(Instr instr)
+{
+    ensureOpen();
+    instr.activeLanes = activeLanes_;
+    current_.instrs.push_back(instr);
+}
+
+ProgramBuilder&
+ProgramBuilder::alu(int count, bool dependent)
+{
+    for (int i = 0; i < count; ++i) {
+        Instr instr;
+        instr.op = Opcode::Alu;
+        if (dependent) {
+            instr.src0 = lastDst_;
+            instr.src1 = prevDst_;
+        } else {
+            instr.src0 = 0;
+            instr.src1 = 1;
+        }
+        instr.dst = allocReg();
+        emit(instr);
+    }
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::sfu(int count)
+{
+    for (int i = 0; i < count; ++i) {
+        Instr instr;
+        instr.op = Opcode::Sfu;
+        instr.src0 = lastDst_;
+        instr.dst = allocReg();
+        emit(instr);
+    }
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::load(std::uint8_t pattern_id)
+{
+    Instr instr;
+    instr.op = Opcode::LdGlobal;
+    instr.patternId = pattern_id;
+    instr.dst = allocReg();
+    emit(instr);
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::loadShared(std::uint8_t pattern_id)
+{
+    Instr instr;
+    instr.op = Opcode::LdShared;
+    instr.patternId = pattern_id;
+    instr.dst = allocReg();
+    emit(instr);
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::store(std::uint8_t pattern_id)
+{
+    Instr instr;
+    instr.op = Opcode::StGlobal;
+    instr.patternId = pattern_id;
+    instr.src0 = lastDst_;
+    emit(instr);
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::storeShared(std::uint8_t pattern_id)
+{
+    Instr instr;
+    instr.op = Opcode::StShared;
+    instr.patternId = pattern_id;
+    instr.src0 = lastDst_;
+    emit(instr);
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::barrier()
+{
+    Instr instr;
+    instr.op = Opcode::Bar;
+    emit(instr);
+    return *this;
+}
+
+ProgramBuilder&
+ProgramBuilder::diverge(std::uint8_t active_lanes)
+{
+    if (active_lanes == 0 || active_lanes > kWarpSize)
+        fatal("program builder: bad active lane count ", int(active_lanes));
+    activeLanes_ = active_lanes;
+    return *this;
+}
+
+WarpProgram
+ProgramBuilder::build()
+{
+    if (built_)
+        fatal("program builder: build() called twice");
+    if (open_)
+        endLoop();
+    built_ = true;
+    prog_.validate();
+    return std::move(prog_);
+}
+
+} // namespace bsched

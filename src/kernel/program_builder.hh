@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fluent construction of WarpPrograms. The builder assigns virtual
+ * registers so that instruction streams carry realistic RAW dependences:
+ * dependent ALU chains consume the previous result, loads define fresh
+ * registers, and stores consume the most recent value.
+ */
+
+#ifndef BSCHED_KERNEL_PROGRAM_BUILDER_HH
+#define BSCHED_KERNEL_PROGRAM_BUILDER_HH
+
+#include <cstdint>
+
+#include "kernel/warp_program.hh"
+
+namespace bsched {
+
+/**
+ * Builds a WarpProgram segment by segment.
+ *
+ * Usage:
+ * @code
+ *   ProgramBuilder b;
+ *   auto in = b.pattern({.kind = AccessKind::Coalesced});
+ *   b.loop(100).load(in).alu(6).store(out).endLoop();
+ *   WarpProgram prog = b.build();
+ * @endcode
+ */
+class ProgramBuilder
+{
+  public:
+    /** @param reg_window registers cycled through for destinations. */
+    explicit ProgramBuilder(int reg_window = 24);
+
+    /** Register a memory pattern for later load/store emission. */
+    std::uint8_t pattern(const MemPattern& p);
+
+    /** Open a looped segment with @p trips iterations. */
+    ProgramBuilder& loop(std::uint32_t trips,
+                         std::uint32_t trip_jitter_pct = 0);
+
+    /** Close the current segment. */
+    ProgramBuilder& endLoop();
+
+    /**
+     * Emit @p count ALU instructions. If @p dependent, each consumes the
+     * previous result (a latency-exposed chain); otherwise sources are
+     * constant registers (ILP).
+     */
+    ProgramBuilder& alu(int count = 1, bool dependent = true);
+
+    /** Emit @p count SFU instructions (dependent chain). */
+    ProgramBuilder& sfu(int count = 1);
+
+    /** Emit a global load from @p pattern_id into a fresh register. */
+    ProgramBuilder& load(std::uint8_t pattern_id);
+
+    /** Emit a shared-memory load. */
+    ProgramBuilder& loadShared(std::uint8_t pattern_id);
+
+    /** Emit a global store of the most recent result. */
+    ProgramBuilder& store(std::uint8_t pattern_id);
+
+    /** Emit a shared-memory store. */
+    ProgramBuilder& storeShared(std::uint8_t pattern_id);
+
+    /** Emit a CTA-wide barrier. */
+    ProgramBuilder& barrier();
+
+    /** Set the active-lane count applied to subsequent instructions. */
+    ProgramBuilder& diverge(std::uint8_t active_lanes);
+
+    /** Restore full-warp execution. */
+    ProgramBuilder& converge() { return diverge(kWarpSize); }
+
+    /** Finish: closes any open segment, validates, returns the program. */
+    WarpProgram build();
+
+  private:
+    static constexpr int kFirstDynReg = 4; ///< r0..r3 are constants
+
+    void ensureOpen();
+    std::int8_t allocReg();
+    void emit(Instr instr);
+
+    WarpProgram prog_;
+    Segment current_;
+    bool open_ = false;
+    int regWindow_;
+    int nextReg_ = kFirstDynReg;
+    std::int8_t lastDst_ = 0;
+    std::int8_t prevDst_ = 1;
+    std::uint8_t activeLanes_ = kWarpSize;
+    bool built_ = false;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_KERNEL_PROGRAM_BUILDER_HH

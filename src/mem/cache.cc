@@ -1,0 +1,135 @@
+#include "mem/cache.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+TagArray::TagArray(const CacheConfig& config, std::string name)
+    : name_(std::move(name)),
+      numSets_(config.numSets()),
+      assoc_(config.assoc),
+      lineBytes_(config.lineBytes),
+      lines_(static_cast<std::size_t>(numSets_) * assoc_)
+{
+    if (numSets_ == 0 || (numSets_ & (numSets_ - 1)) != 0)
+        fatal("cache ", name_, ": set count must be a nonzero power of two");
+}
+
+std::uint32_t
+TagArray::setIndex(Addr line_addr) const
+{
+    return static_cast<std::uint32_t>((line_addr / lineBytes_) &
+                                      (numSets_ - 1));
+}
+
+Addr
+TagArray::tagOf(Addr line_addr) const
+{
+    return line_addr / lineBytes_ / numSets_;
+}
+
+TagArray::Line*
+TagArray::find(Addr line_addr)
+{
+    const std::uint32_t set = setIndex(line_addr);
+    const Addr tag = tagOf(line_addr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * assoc_];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        if (base[w].valid && base[w].tag == tag)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const TagArray::Line*
+TagArray::find(Addr line_addr) const
+{
+    return const_cast<TagArray*>(this)->find(line_addr);
+}
+
+bool
+TagArray::probe(Addr line_addr) const
+{
+    return find(line_addr) != nullptr;
+}
+
+bool
+TagArray::access(Addr line_addr, Cycle now)
+{
+    ++accesses_;
+    Line* line = find(line_addr);
+    if (!line)
+        return false;
+    ++hits_;
+    line->lastUse = now;
+    line->seq = ++seqCounter_;
+    return true;
+}
+
+bool
+TagArray::markDirty(Addr line_addr)
+{
+    Line* line = find(line_addr);
+    if (!line)
+        return false;
+    line->dirty = true;
+    return true;
+}
+
+Eviction
+TagArray::fill(Addr line_addr, Cycle now, bool dirty)
+{
+    if (find(line_addr))
+        panic("cache ", name_, ": fill of already-present line");
+    const std::uint32_t set = setIndex(line_addr);
+    Line* base = &lines_[static_cast<std::size_t>(set) * assoc_];
+    Line* victim = &base[0];
+    for (std::uint32_t w = 0; w < assoc_; ++w) {
+        Line& cand = base[w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (cand.lastUse < victim->lastUse ||
+            (cand.lastUse == victim->lastUse && cand.seq < victim->seq)) {
+            victim = &cand;
+        }
+    }
+    Eviction ev;
+    if (victim->valid) {
+        ev.valid = true;
+        // Reconstruct the victim's full line address from tag and set.
+        ev.lineAddr = (victim->tag * numSets_ + set) * lineBytes_;
+        ev.dirty = victim->dirty;
+        ++evictions_;
+        if (victim->dirty)
+            ++dirtyEvictions_;
+    }
+    victim->valid = true;
+    victim->tag = tagOf(line_addr);
+    victim->dirty = dirty;
+    victim->lastUse = now;
+    victim->seq = ++seqCounter_;
+    ++fills_;
+    return ev;
+}
+
+void
+TagArray::flushAll()
+{
+    for (Line& line : lines_)
+        line = Line{};
+}
+
+void
+TagArray::addStats(StatSet& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".access", static_cast<double>(accesses_));
+    stats.add(prefix + ".hit", static_cast<double>(hits_));
+    stats.add(prefix + ".miss", static_cast<double>(misses()));
+    stats.add(prefix + ".fill", static_cast<double>(fills_));
+    stats.add(prefix + ".evict", static_cast<double>(evictions_));
+    stats.add(prefix + ".evict_dirty", static_cast<double>(dirtyEvictions_));
+}
+
+} // namespace bsched

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Set-associative tag array with true-LRU replacement. The tag array is
+ * policy-free: L1 (write-through, no-allocate) and L2 (write-back,
+ * write-allocate) wrappers decide what to do on hits/misses; the array
+ * only tracks presence, recency and dirtiness.
+ */
+
+#ifndef BSCHED_MEM_CACHE_HH
+#define BSCHED_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** Result of inserting a line: the victim, if a valid one was evicted. */
+struct Eviction
+{
+    bool valid = false;
+    Addr lineAddr = 0;
+    bool dirty = false;
+};
+
+/** Set-associative, true-LRU tag array. */
+class TagArray
+{
+  public:
+    TagArray(const CacheConfig& config, std::string name);
+
+    /** True if @p line_addr is present (no recency update). */
+    bool probe(Addr line_addr) const;
+
+    /**
+     * Look up @p line_addr; on hit updates recency and returns true.
+     * Counts an access and a hit/miss.
+     */
+    bool access(Addr line_addr, Cycle now);
+
+    /** Mark a present line dirty; returns false if absent. */
+    bool markDirty(Addr line_addr);
+
+    /**
+     * Insert @p line_addr (must be absent), evicting the set's LRU line
+     * if the set is full. Returns the eviction record.
+     */
+    Eviction fill(Addr line_addr, Cycle now, bool dirty = false);
+
+    /** Invalidate everything (kernel boundary flush). */
+    void flushAll();
+
+    std::uint32_t numSets() const { return numSets_; }
+    std::uint32_t assoc() const { return assoc_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return accesses_ - hits_; }
+
+    /** Export "<prefix>.access/.hit/.miss" stats. */
+    void addStats(StatSet& stats, const std::string& prefix) const;
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        Cycle lastUse = 0;
+        std::uint64_t seq = 0; ///< LRU tiebreak within one cycle
+    };
+
+    std::uint32_t setIndex(Addr line_addr) const;
+    Addr tagOf(Addr line_addr) const;
+    Line* find(Addr line_addr);
+    const Line* find(Addr line_addr) const;
+
+    std::string name_;
+    std::uint32_t numSets_;
+    std::uint32_t assoc_;
+    std::uint32_t lineBytes_;
+    std::vector<Line> lines_; ///< numSets x assoc, row-major
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t fills_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t dirtyEvictions_ = 0;
+    std::uint64_t seqCounter_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_MEM_CACHE_HH

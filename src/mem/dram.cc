@@ -1,0 +1,136 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+DramChannel::DramChannel(const DramConfig& config, std::uint32_t line_bytes,
+                         std::uint32_t partition_stride, std::string name)
+    : config_(config), lineBytes_(line_bytes),
+      partitionStride_(partition_stride), name_(std::move(name)),
+      banks_(config.banksPerChannel)
+{
+    if (partitionStride_ == 0)
+        fatal("dram ", name_, ": partition stride must be > 0");
+}
+
+std::uint32_t
+DramChannel::bankOf(Addr line_addr) const
+{
+    const std::uint64_t local_line =
+        (line_addr / lineBytes_) / partitionStride_;
+    const std::uint64_t lines_per_row = config_.rowBytes / lineBytes_;
+    return static_cast<std::uint32_t>((local_line / lines_per_row) %
+                                      config_.banksPerChannel);
+}
+
+std::uint64_t
+DramChannel::rowOf(Addr line_addr) const
+{
+    const std::uint64_t local_line =
+        (line_addr / lineBytes_) / partitionStride_;
+    const std::uint64_t lines_per_row = config_.rowBytes / lineBytes_;
+    return local_line / (lines_per_row * config_.banksPerChannel);
+}
+
+void
+DramChannel::push(Cycle now, Addr line_addr, bool write)
+{
+    if (!canAccept())
+        panic("dram ", name_, ": push into full queue");
+    queue_.push_back({line_addr, write, now, bankOf(line_addr),
+                      static_cast<std::int64_t>(rowOf(line_addr))});
+}
+
+void
+DramChannel::service(Cycle now, std::size_t queue_index)
+{
+    const Request req = queue_[queue_index];
+    queue_.erase(queue_.begin() +
+                 static_cast<std::ptrdiff_t>(queue_index));
+
+    Bank& bank = banks_[req.bank];
+    const std::int64_t row = req.row;
+    const bool row_hit = bank.openRow == row;
+    const Cycle latency =
+        row_hit ? config_.rowHitLatency : config_.rowMissLatency;
+    if (row_hit)
+        ++rowHits_;
+    else
+        ++rowMisses_;
+    bank.openRow = row;
+
+    // Array access completes after the bank latency; the burst then
+    // occupies the shared data bus.
+    const Cycle array_done = now + latency;
+    busFreeAt_ = std::max(busFreeAt_, array_done) + config_.dataBusCycles;
+    bank.busyUntil = busFreeAt_;
+
+    if (req.write) {
+        ++writes_;
+    } else {
+        ++reads_;
+        completions_.emplace_back(busFreeAt_, req.lineAddr);
+    }
+}
+
+void
+DramChannel::tick(Cycle now)
+{
+    if (queue_.empty())
+        return;
+    const std::size_t window = std::min(queue_.size(), kScanWindow);
+
+    // Starvation guard: when the oldest request has waited too long,
+    // stop preferring row hits so its bank eventually frees for it.
+    const bool starving =
+        queue_.front().arrive + config_.maxStarveCycles <= now;
+
+    // First choice: oldest row-buffer hit on a free bank.
+    if (!starving) {
+        for (std::size_t i = 0; i < window; ++i) {
+            const Request& req = queue_[i];
+            const Bank& bank = banks_[req.bank];
+            if (bank.busyUntil <= now && bank.openRow == req.row) {
+                service(now, i);
+                return;
+            }
+        }
+    }
+    // Fallback: oldest request on a free bank.
+    for (std::size_t i = 0; i < window; ++i) {
+        if (banks_[queue_[i].bank].busyUntil <= now) {
+            service(now, i);
+            return;
+        }
+    }
+}
+
+bool
+DramChannel::responseReady(Cycle now) const
+{
+    return !completions_.empty() && completions_.front().first <= now;
+}
+
+Addr
+DramChannel::popResponse(Cycle now)
+{
+    if (!responseReady(now))
+        panic("dram ", name_, ": popResponse before ready");
+    Addr line = completions_.front().second;
+    completions_.pop_front();
+    return line;
+}
+
+void
+DramChannel::addStats(StatSet& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".read", static_cast<double>(reads_));
+    stats.add(prefix + ".write", static_cast<double>(writes_));
+    stats.add(prefix + ".row_hit", static_cast<double>(rowHits_));
+    stats.add(prefix + ".row_miss", static_cast<double>(rowMisses_));
+}
+
+} // namespace bsched

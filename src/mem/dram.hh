@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A GDDR-like DRAM channel with per-bank row buffers and an FR-FCFS-lite
+ * scheduler: among requests whose bank is free, row-buffer hits are
+ * served before older row misses (within a bounded scan window, to bound
+ * starvation). The shared data bus serializes bursts.
+ */
+
+#ifndef BSCHED_MEM_DRAM_HH
+#define BSCHED_MEM_DRAM_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** One DRAM channel (paired 1:1 with a memory partition). */
+class DramChannel
+{
+  public:
+    /**
+     * @param partition_stride number of partitions interleaved at line
+     *        granularity; used to compact this channel's sparse global
+     *        line addresses into a dense local space before bank/row
+     *        decomposition.
+     */
+    DramChannel(const DramConfig& config, std::uint32_t line_bytes,
+                std::uint32_t partition_stride, std::string name);
+
+    /** True if the request queue has room. */
+    bool canAccept() const { return queue_.size() < config_.queueCapacity; }
+
+    /** Enqueue a line read/write. */
+    void push(Cycle now, Addr line_addr, bool write);
+
+    /** Advance one cycle: possibly start servicing one request. */
+    void tick(Cycle now);
+
+    /** True if a completed read response is available at @p now. */
+    bool responseReady(Cycle now) const;
+
+    /** Pop the line address of the oldest completed read. */
+    Addr popResponse(Cycle now);
+
+    /** True when no request is queued or in flight. */
+    bool idle() const { return queue_.empty() && completions_.empty(); }
+
+    /** Bank index a line maps to (exposed for tests). */
+    std::uint32_t bankOf(Addr line_addr) const;
+
+    /** Row index a line maps to within its bank (exposed for tests). */
+    std::uint64_t rowOf(Addr line_addr) const;
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+
+    void addStats(StatSet& stats, const std::string& prefix) const;
+
+  private:
+    struct Request
+    {
+        Addr lineAddr = 0;
+        bool write = false;
+        Cycle arrive = 0;
+        std::uint32_t bank = 0;   ///< precomputed at push
+        std::int64_t row = 0;     ///< precomputed at push
+    };
+
+    struct Bank
+    {
+        std::int64_t openRow = -1;
+        Cycle busyUntil = 0;
+    };
+
+    /** How many queue entries the scheduler scans for a row hit. */
+    static constexpr std::size_t kScanWindow = 16;
+
+    void service(Cycle now, std::size_t queue_index);
+
+    DramConfig config_;
+    std::uint32_t lineBytes_;
+    std::uint32_t partitionStride_;
+    std::string name_;
+    std::vector<Bank> banks_;
+    std::deque<Request> queue_;
+    /** (doneCycle, lineAddr) for reads, in completion order. */
+    std::deque<std::pair<Cycle, Addr>> completions_;
+    Cycle busFreeAt_ = 0;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_MEM_DRAM_HH

@@ -1,0 +1,119 @@
+#include "mem/interconnect.hh"
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace bsched {
+
+Interconnect::Interconnect(const GpuConfig& config)
+    : lineBytes_(config.l1d.lineBytes),
+      numPartitions_(config.numMemPartitions)
+{
+    for (std::uint32_t p = 0; p < numPartitions_; ++p) {
+        requestQ_.emplace_back(config.icntLatency, kChannelCapacity);
+        requestBw_.emplace_back(config.icntFlitsPerCycle);
+    }
+    for (std::uint32_t c = 0; c < config.numCores; ++c) {
+        responseQ_.emplace_back(config.icntLatency, kChannelCapacity);
+        responseBw_.emplace_back(config.icntFlitsPerCycle);
+    }
+}
+
+std::uint32_t
+Interconnect::partitionFor(Addr line_addr) const
+{
+    // Hash the line index before taking the modulus. A plain modulo
+    // invites partition camping: any power-of-two access stride that is
+    // congruent mod numPartitions pins whole warps to a partition
+    // subset. Real GPUs (and GPGPU-Sim) hash address bits into the
+    // channel index for exactly this reason.
+    const std::uint64_t line = line_addr / lineBytes_;
+    return static_cast<std::uint32_t>(mix64(line) % numPartitions_);
+}
+
+bool
+Interconnect::canSendRequest(std::uint32_t partition) const
+{
+    return requestQ_.at(partition).canPush();
+}
+
+void
+Interconnect::sendRequest(Cycle now, const MemRequest& request)
+{
+    const std::uint32_t partition = partitionFor(request.lineAddr);
+    requestQ_.at(partition).push(now, request);
+    ++requestsSent_;
+}
+
+bool
+Interconnect::requestReady(std::uint32_t partition, Cycle now) const
+{
+    return requestQ_.at(partition).ready(now);
+}
+
+bool
+Interconnect::ejectBudget(std::uint32_t partition, Cycle now)
+{
+    return requestBw_.at(partition).tryConsume(now);
+}
+
+MemRequest
+Interconnect::popRequest(std::uint32_t partition, Cycle now)
+{
+    return requestQ_.at(partition).pop(now);
+}
+
+bool
+Interconnect::canSendResponse(std::uint32_t core) const
+{
+    return responseQ_.at(core).canPush();
+}
+
+void
+Interconnect::sendResponse(Cycle now, std::uint32_t core,
+                           const MemResponse& response)
+{
+    responseQ_.at(core).push(now, response);
+    ++responsesSent_;
+}
+
+bool
+Interconnect::responseReady(std::uint32_t core, Cycle now) const
+{
+    return responseQ_.at(core).ready(now);
+}
+
+MemResponse
+Interconnect::popResponse(std::uint32_t core, Cycle now)
+{
+    return responseQ_.at(core).pop(now);
+}
+
+bool
+Interconnect::responseEjectBudget(std::uint32_t core, Cycle now)
+{
+    return responseBw_.at(core).tryConsume(now);
+}
+
+bool
+Interconnect::drained() const
+{
+    for (const auto& q : requestQ_) {
+        if (!q.empty())
+            return false;
+    }
+    for (const auto& q : responseQ_) {
+        if (!q.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+Interconnect::addStats(StatSet& stats) const
+{
+    stats.add("icnt.requests", static_cast<double>(requestsSent_));
+    stats.add("icnt.responses", static_cast<double>(responsesSent_));
+}
+
+} // namespace bsched

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Core <-> memory-partition interconnect, modeled as per-partition
+ * request channels and per-core response channels, each with a fixed
+ * one-way latency and a per-cycle ejection bandwidth. Lines interleave
+ * across partitions at line granularity.
+ */
+
+#ifndef BSCHED_MEM_INTERCONNECT_HH
+#define BSCHED_MEM_INTERCONNECT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/mem_common.hh"
+#include "sim/config.hh"
+#include "sim/queues.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+/** Crossbar-like network with latency and bandwidth, no routing detail. */
+class Interconnect
+{
+  public:
+    explicit Interconnect(const GpuConfig& config);
+
+    /** Partition a line address is homed on. */
+    std::uint32_t partitionFor(Addr line_addr) const;
+
+    // --- request direction (core -> partition) -------------------------
+
+    /** True if a request toward @p partition can be injected now. */
+    bool canSendRequest(std::uint32_t partition) const;
+
+    /** Inject a request (must be allowed). */
+    void sendRequest(Cycle now, const MemRequest& request);
+
+    /** True if a request has arrived at @p partition. */
+    bool requestReady(std::uint32_t partition, Cycle now) const;
+
+    /** Eject one request at @p partition (bandwidth-limited). */
+    MemRequest popRequest(std::uint32_t partition, Cycle now);
+
+    /** Remaining ejections allowed at @p partition this cycle. */
+    bool ejectBudget(std::uint32_t partition, Cycle now);
+
+    // --- response direction (partition -> core) ------------------------
+
+    bool canSendResponse(std::uint32_t core) const;
+    void sendResponse(Cycle now, std::uint32_t core,
+                      const MemResponse& response);
+    bool responseReady(std::uint32_t core, Cycle now) const;
+    MemResponse popResponse(std::uint32_t core, Cycle now);
+
+    /**
+     * Consume one unit of response ejection bandwidth at @p core. Call
+     * only when a pop will actually follow.
+     */
+    bool responseEjectBudget(std::uint32_t core, Cycle now);
+
+    /** True when nothing is in flight in either direction. */
+    bool drained() const;
+
+    void addStats(StatSet& stats) const;
+
+  private:
+    /** In-flight buffering per channel. */
+    static constexpr std::size_t kChannelCapacity = 64;
+
+    std::uint32_t lineBytes_;
+    std::uint32_t numPartitions_;
+    std::vector<TimedQueue<MemRequest>> requestQ_;  ///< per partition
+    std::vector<TimedQueue<MemResponse>> responseQ_; ///< per core
+    std::vector<BandwidthThrottle> requestBw_;  ///< per partition ejection
+    std::vector<BandwidthThrottle> responseBw_; ///< per core ejection
+    std::uint64_t requestsSent_ = 0;
+    std::uint64_t responsesSent_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_MEM_INTERCONNECT_HH

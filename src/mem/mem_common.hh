@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Messages exchanged between SIMT cores and memory partitions across the
+ * interconnect. Requests and responses carry line-aligned addresses.
+ */
+
+#ifndef BSCHED_MEM_MEM_COMMON_HH
+#define BSCHED_MEM_MEM_COMMON_HH
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** A line-granular memory request from a core to a partition. */
+struct MemRequest
+{
+    Addr lineAddr = 0;
+    bool write = false;
+    std::uint16_t coreId = 0;
+};
+
+/** A read-fill response from a partition to a core. */
+struct MemResponse
+{
+    Addr lineAddr = 0;
+    std::uint16_t coreId = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_MEM_MEM_COMMON_HH

@@ -1,0 +1,154 @@
+#include "mem/mem_partition.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+MemPartition::MemPartition(const GpuConfig& config, std::uint32_t id)
+    : id_(id),
+      name_("part" + std::to_string(id)),
+      config_(config),
+      input_(config.l2.hitLatency, kInputCapacity),
+      tags_(config.l2, name_ + ".l2"),
+      mshr_(config.l2.mshrEntries, config.l2.mshrMaxMerged, name_ + ".l2mshr"),
+      dram_(config.dram, config.l2.lineBytes, config.numMemPartitions,
+            name_ + ".dram")
+{}
+
+void
+MemPartition::pushRequest(Cycle now, const MemRequest& request)
+{
+    input_.push(now, request);
+    if (request.write)
+        ++writeRequests_;
+    else
+        ++readRequests_;
+}
+
+void
+MemPartition::evictIfDirty(const Eviction& eviction)
+{
+    if (eviction.valid && eviction.dirty)
+        writebacks_.push_back(eviction.lineAddr);
+}
+
+void
+MemPartition::handleDramResponses(Cycle now)
+{
+    while (dram_.responseReady(now)) {
+        const Addr line = dram_.popResponse(now);
+        evictIfDirty(tags_.fill(line, now));
+        for (std::uint32_t waiter : mshr_.complete(line)) {
+            if (waiter == kWriteWaiter) {
+                tags_.markDirty(line);
+            } else {
+                replies_.push_back(
+                    {line, static_cast<std::uint16_t>(waiter)});
+            }
+        }
+    }
+}
+
+bool
+MemPartition::handleRequest(Cycle now, const MemRequest& req)
+{
+    const bool hit = tags_.access(req.lineAddr, now);
+    if (hit) {
+        if (req.write) {
+            tags_.markDirty(req.lineAddr);
+        } else {
+            replies_.push_back({req.lineAddr, req.coreId});
+        }
+        return true;
+    }
+
+    // Miss: reads wait on the fill; writes allocate via fetch-on-write.
+    const std::uint32_t waiter = req.write ? kWriteWaiter : req.coreId;
+    if (!mshr_.has(req.lineAddr)) {
+        // Primary miss needs both an MSHR entry and DRAM queue space.
+        if (mshr_.full() || !dram_.canAccept()) {
+            ++stallCycles_;
+            return false;
+        }
+        if (mshr_.allocate(req.lineAddr, waiter) != MshrOutcome::NewEntry)
+            panic("l2 ", name_, ": expected new MSHR entry");
+        dram_.push(now, req.lineAddr, false);
+        return true;
+    }
+    switch (mshr_.allocate(req.lineAddr, waiter)) {
+      case MshrOutcome::Merged:
+        return true;
+      case MshrOutcome::FullEntry:
+        ++stallCycles_;
+        return false;
+      default:
+        panic("l2 ", name_, ": unexpected MSHR outcome");
+    }
+}
+
+void
+MemPartition::tick(Cycle now)
+{
+    dram_.tick(now);
+    handleDramResponses(now);
+
+    for (unsigned port = 0; port < kL2PortsPerCycle; ++port) {
+        if (!input_.ready(now))
+            break;
+        if (!handleRequest(now, input_.front()))
+            break; // head-of-line stall; retry next cycle
+        input_.pop(now);
+    }
+
+    // Drain buffered dirty victims when DRAM has room.
+    while (!writebacks_.empty() && dram_.canAccept()) {
+        dram_.push(now, writebacks_.front(), true);
+        writebacks_.pop_front();
+    }
+}
+
+const MemResponse&
+MemPartition::peekResponse() const
+{
+    if (replies_.empty())
+        panic("partition ", name_, ": peekResponse on empty queue");
+    return replies_.front();
+}
+
+MemResponse
+MemPartition::popResponse()
+{
+    if (replies_.empty())
+        panic("partition ", name_, ": popResponse on empty queue");
+    MemResponse resp = replies_.front();
+    replies_.pop_front();
+    return resp;
+}
+
+bool
+MemPartition::drained() const
+{
+    return input_.empty() && mshr_.empty() && dram_.idle() &&
+        replies_.empty() && writebacks_.empty();
+}
+
+void
+MemPartition::flush()
+{
+    if (!drained())
+        panic("partition ", name_, ": flush while not drained");
+    tags_.flushAll();
+}
+
+void
+MemPartition::addStats(StatSet& stats) const
+{
+    tags_.addStats(stats, name_ + ".l2");
+    mshr_.addStats(stats, name_ + ".l2mshr");
+    dram_.addStats(stats, name_ + ".dram");
+    stats.add(name_ + ".req_read", static_cast<double>(readRequests_));
+    stats.add(name_ + ".req_write", static_cast<double>(writeRequests_));
+    stats.add(name_ + ".l2.stall", static_cast<double>(stallCycles_));
+}
+
+} // namespace bsched

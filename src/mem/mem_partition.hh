@@ -1,0 +1,90 @@
+/**
+ * @file
+ * A memory partition: one L2 bank (write-back, write-allocate) fronting
+ * one DRAM channel. The GPU has numMemPartitions of these; lines are
+ * interleaved across partitions at line granularity.
+ */
+
+#ifndef BSCHED_MEM_MEM_PARTITION_HH
+#define BSCHED_MEM_MEM_PARTITION_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/mem_common.hh"
+#include "mem/mshr.hh"
+#include "sim/config.hh"
+#include "sim/queues.hh"
+
+namespace bsched {
+
+/** L2 bank + DRAM channel. */
+class MemPartition
+{
+  public:
+    MemPartition(const GpuConfig& config, std::uint32_t id);
+
+    /** True if the L2 input queue can take another request. */
+    bool canAcceptRequest() const { return input_.canPush(); }
+
+    /** Deliver a request from the interconnect. */
+    void pushRequest(Cycle now, const MemRequest& request);
+
+    /** Advance one cycle: DRAM, fills, L2 pipeline. */
+    void tick(Cycle now);
+
+    /** True if a read response waits for the interconnect. */
+    bool responseReady() const { return !replies_.empty(); }
+
+    /** Oldest response without removing it. */
+    const MemResponse& peekResponse() const;
+
+    /** Pop the oldest response. */
+    MemResponse popResponse();
+
+    /** True when no request is anywhere in the partition. */
+    bool drained() const;
+
+    /** Invalidate L2 contents (kernel-boundary flush). */
+    void flush();
+
+    const TagArray& l2() const { return tags_; }
+    const DramChannel& dram() const { return dram_; }
+
+    void addStats(StatSet& stats) const;
+
+  private:
+    /** Waiter token marking a write-allocate fetch (no reply needed). */
+    static constexpr std::uint32_t kWriteWaiter = 0xffffffffu;
+
+    /** Requests the L2 pipeline accepts per cycle. */
+    static constexpr unsigned kL2PortsPerCycle = 2;
+
+    /** L2 input queue capacity. */
+    static constexpr std::size_t kInputCapacity = 32;
+
+    void handleDramResponses(Cycle now);
+    bool handleRequest(Cycle now, const MemRequest& request);
+    void evictIfDirty(const Eviction& eviction);
+
+    std::uint32_t id_;
+    std::string name_;
+    GpuConfig config_;
+    TimedQueue<MemRequest> input_;
+    TagArray tags_;
+    MshrFile mshr_;
+    DramChannel dram_;
+    std::deque<MemResponse> replies_;
+    std::deque<Addr> writebacks_; ///< dirty victims awaiting DRAM space
+
+    std::uint64_t readRequests_ = 0;
+    std::uint64_t writeRequests_ = 0;
+    std::uint64_t stallCycles_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_MEM_MEM_PARTITION_HH

@@ -1,0 +1,63 @@
+#include "mem/mshr.hh"
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+MshrFile::MshrFile(std::uint32_t entries, std::uint32_t max_merged,
+                   std::string name)
+    : entries_(entries), maxMerged_(max_merged), name_(std::move(name))
+{
+    if (entries_ == 0 || maxMerged_ == 0)
+        fatal("mshr ", name_, ": zero capacity");
+}
+
+MshrOutcome
+MshrFile::allocate(Addr line_addr, std::uint32_t waiter)
+{
+    auto it = map_.find(line_addr);
+    if (it != map_.end()) {
+        if (it->second.size() >= maxMerged_) {
+            ++fullEntryStalls_;
+            return MshrOutcome::FullEntry;
+        }
+        it->second.push_back(waiter);
+        ++merges_;
+        return MshrOutcome::Merged;
+    }
+    if (full()) {
+        ++fullFileStalls_;
+        return MshrOutcome::FullFile;
+    }
+    map_.emplace(line_addr, std::vector<std::uint32_t>{waiter});
+    ++allocs_;
+    return MshrOutcome::NewEntry;
+}
+
+bool
+MshrFile::has(Addr line_addr) const
+{
+    return map_.find(line_addr) != map_.end();
+}
+
+std::vector<std::uint32_t>
+MshrFile::complete(Addr line_addr)
+{
+    auto it = map_.find(line_addr);
+    if (it == map_.end())
+        panic("mshr ", name_, ": complete of unknown line");
+    std::vector<std::uint32_t> waiters = std::move(it->second);
+    map_.erase(it);
+    return waiters;
+}
+
+void
+MshrFile::addStats(StatSet& stats, const std::string& prefix) const
+{
+    stats.add(prefix + ".alloc", static_cast<double>(allocs_));
+    stats.add(prefix + ".merge", static_cast<double>(merges_));
+    stats.add(prefix + ".stall_entry", static_cast<double>(fullEntryStalls_));
+    stats.add(prefix + ".stall_file", static_cast<double>(fullFileStalls_));
+}
+
+} // namespace bsched

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Miss Status Holding Registers. An MSHR file tracks outstanding miss
+ * lines and merges secondary misses onto the primary. Waiters are opaque
+ * 32-bit tokens owned by the client (the core's LD/ST unit uses access-
+ * batch indices; the L2 uses packed core ids).
+ */
+
+#ifndef BSCHED_MEM_MSHR_HH
+#define BSCHED_MEM_MSHR_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** Outcome of attempting to register a miss. */
+enum class MshrOutcome
+{
+    NewEntry,  ///< primary miss: entry allocated, fetch must be sent
+    Merged,    ///< secondary miss merged; no new fetch
+    FullEntry, ///< entry exists but merge capacity exhausted -> retry
+    FullFile,  ///< no free entries -> retry
+};
+
+/** MSHR file with per-line merge capacity. */
+class MshrFile
+{
+  public:
+    /**
+     * @param entries distinct outstanding lines.
+     * @param max_merged waiters per line (including the primary).
+     */
+    MshrFile(std::uint32_t entries, std::uint32_t max_merged,
+             std::string name);
+
+    /** Try to record a miss for @p line_addr with @p waiter. */
+    MshrOutcome allocate(Addr line_addr, std::uint32_t waiter);
+
+    /** True if a fetch for @p line_addr is already outstanding. */
+    bool has(Addr line_addr) const;
+
+    /**
+     * Complete the fetch of @p line_addr: removes the entry and returns
+     * its waiters (panic() if absent).
+     */
+    std::vector<std::uint32_t> complete(Addr line_addr);
+
+    std::uint32_t entriesInUse() const
+    {
+        return static_cast<std::uint32_t>(map_.size());
+    }
+    bool full() const { return entriesInUse() >= entries_; }
+    bool empty() const { return map_.empty(); }
+
+    void addStats(StatSet& stats, const std::string& prefix) const;
+
+  private:
+    std::uint32_t entries_;
+    std::uint32_t maxMerged_;
+    std::string name_;
+    std::unordered_map<Addr, std::vector<std::uint32_t>> map_;
+    std::uint64_t allocs_ = 0;
+    std::uint64_t merges_ = 0;
+    std::uint64_t fullEntryStalls_ = 0;
+    std::uint64_t fullFileStalls_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_MEM_MSHR_HH

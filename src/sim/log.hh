@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal logging and error-termination helpers, in the spirit of gem5's
+ * logging.hh: fatal() for user/configuration errors, panic() for internal
+ * invariant violations, warn()/inform() for status.
+ */
+
+#ifndef BSCHED_SIM_LOG_HH
+#define BSCHED_SIM_LOG_HH
+
+#include <sstream>
+#include <string>
+
+namespace bsched {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Silent, Warn, Info, Debug };
+
+/** Process-wide log verbosity (default: Warn). */
+LogLevel logLevel();
+
+/** Set process-wide log verbosity. */
+void setLogLevel(LogLevel level);
+
+namespace detail {
+[[noreturn]] void fatalImpl(const std::string& msg);
+[[noreturn]] void panicImpl(const std::string& msg);
+void warnImpl(const std::string& msg);
+void informImpl(const std::string& msg);
+
+template <typename... Args>
+std::string
+concat(Args&&... args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+} // namespace detail
+
+/**
+ * Terminate because of a user-caused condition (bad configuration,
+ * invalid arguments). Exits with code 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Terminate because of an internal simulator bug (an invariant that should
+ * never break regardless of user input). Calls abort().
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning about questionable behaviour. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Informational status message. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace bsched
+
+#endif // BSCHED_SIM_LOG_HH

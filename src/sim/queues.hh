@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Latency/bandwidth-modelling queues used to wire simulator components
+ * together. A TimedQueue carries items that become visible only after a
+ * fixed latency and enforces a maximum occupancy, which is how
+ * backpressure propagates between pipeline stages (core -> interconnect ->
+ * L2 -> DRAM and back).
+ */
+
+#ifndef BSCHED_SIM_QUEUES_HH
+#define BSCHED_SIM_QUEUES_HH
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "sim/log.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/**
+ * FIFO whose entries become poppable @p latency cycles after being pushed,
+ * with a bounded capacity. Capacity 0 means unbounded.
+ */
+template <typename T>
+class TimedQueue
+{
+  public:
+    /**
+     * @param latency Cycles between push and earliest pop.
+     * @param capacity Maximum occupancy (0 = unbounded).
+     */
+    explicit TimedQueue(Cycle latency = 0, std::size_t capacity = 0)
+        : latency_(latency), capacity_(capacity)
+    {}
+
+    /** True if another item can be pushed this cycle. */
+    bool
+    canPush() const
+    {
+        return capacity_ == 0 || entries_.size() < capacity_;
+    }
+
+    /**
+     * Push an item at time @p now; it becomes poppable at now + latency.
+     * Pushing into a full queue is a simulator bug.
+     */
+    void
+    push(Cycle now, T item)
+    {
+        if (!canPush())
+            panic("TimedQueue overflow (capacity ", capacity_, ")");
+        entries_.emplace_back(now + latency_, std::move(item));
+    }
+
+    /** True if the head item is poppable at time @p now. */
+    bool
+    ready(Cycle now) const
+    {
+        return !entries_.empty() && entries_.front().first <= now;
+    }
+
+    /** Access the head item; only valid when ready(). */
+    const T&
+    front() const
+    {
+        if (entries_.empty())
+            panic("TimedQueue::front on empty queue");
+        return entries_.front().second;
+    }
+
+    /** Pop and return the head item; only valid when ready(now). */
+    T
+    pop(Cycle now)
+    {
+        if (!ready(now))
+            panic("TimedQueue::pop before ready");
+        T item = std::move(entries_.front().second);
+        entries_.pop_front();
+        return item;
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    Cycle latency() const { return latency_; }
+
+    void clear() { entries_.clear(); }
+
+  private:
+    Cycle latency_;
+    std::size_t capacity_;
+    /** (readyCycle, payload) in push order; readyCycle is monotone. */
+    std::deque<std::pair<Cycle, T>> entries_;
+};
+
+/**
+ * Rate limiter granting at most @p perCycle tokens each cycle. Components
+ * call tryConsume() to model per-cycle bandwidth (e.g. crossbar ports,
+ * DRAM data bus).
+ */
+class BandwidthThrottle
+{
+  public:
+    explicit BandwidthThrottle(unsigned per_cycle = 1)
+        : perCycle_(per_cycle)
+    {}
+
+    /** Consume one token at time @p now if available. */
+    bool
+    tryConsume(Cycle now)
+    {
+        if (now != cycle_) {
+            cycle_ = now;
+            used_ = 0;
+        }
+        if (used_ >= perCycle_)
+            return false;
+        ++used_;
+        return true;
+    }
+
+    unsigned perCycle() const { return perCycle_; }
+
+  private:
+    unsigned perCycle_;
+    Cycle cycle_ = kCycleNever;
+    unsigned used_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SIM_QUEUES_HH

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Deterministic hashing / pseudo-random utilities. Address-pattern
+ * generators need a stateless, reproducible hash so that the same (cta,
+ * warp, lane, iteration) tuple always maps to the same address regardless
+ * of simulation interleaving.
+ */
+
+#ifndef BSCHED_SIM_RNG_HH
+#define BSCHED_SIM_RNG_HH
+
+#include <cstdint>
+
+namespace bsched {
+
+/** SplitMix64 finalizer: high-quality stateless 64-bit mix. */
+constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit values into one hash. */
+constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Small deterministic PRNG (xorshift64*), for stateful uses such as
+ * randomized property tests.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL)
+        : state_(seed ? seed : 1)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = state_;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        state_ = x;
+        return x * 0x2545f4914f6cdd1dULL;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SIM_RNG_HH

@@ -1,0 +1,119 @@
+#include "sim/stats.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+void
+StatSet::add(const std::string& name, double value)
+{
+    map_[name] += value;
+}
+
+void
+StatSet::set(const std::string& name, double value)
+{
+    map_[name] = value;
+}
+
+bool
+StatSet::has(const std::string& name) const
+{
+    return map_.find(name) != map_.end();
+}
+
+double
+StatSet::get(const std::string& name) const
+{
+    auto it = map_.find(name);
+    return it == map_.end() ? 0.0 : it->second;
+}
+
+double
+StatSet::require(const std::string& name) const
+{
+    auto it = map_.find(name);
+    if (it == map_.end())
+        fatal("missing required stat: ", name);
+    return it->second;
+}
+
+namespace {
+bool
+endsWith(const std::string& s, const std::string& suffix)
+{
+    return s.size() >= suffix.size() &&
+        s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+} // namespace
+
+double
+StatSet::sumBySuffix(const std::string& suffix) const
+{
+    double sum = 0.0;
+    for (const auto& [name, value] : map_) {
+        if (endsWith(name, suffix))
+            sum += value;
+    }
+    return sum;
+}
+
+std::vector<std::string>
+StatSet::namesBySuffix(const std::string& suffix) const
+{
+    std::vector<std::string> names;
+    for (const auto& [name, value] : map_) {
+        if (endsWith(name, suffix))
+            names.push_back(name);
+    }
+    return names;
+}
+
+void
+StatSet::merge(const StatSet& other)
+{
+    for (const auto& [name, value] : other.map_)
+        map_[name] += value;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto& [name, value] : map_)
+        os << name << " = " << value << "\n";
+    return os.str();
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        fatal("geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+harmonicMean(const std::vector<double>& values)
+{
+    if (values.empty())
+        fatal("harmonicMean of empty vector");
+    double inv_sum = 0.0;
+    for (double v : values) {
+        if (v <= 0.0)
+            fatal("harmonicMean requires positive values, got ", v);
+        inv_sum += 1.0 / v;
+    }
+    return static_cast<double>(values.size()) / inv_sum;
+}
+
+} // namespace bsched

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flat, hierarchical-by-name statistics collection. Components populate a
+ * StatSet with dotted names ("core0.l1d.miss"), and the harness queries,
+ * aggregates and prints them.
+ */
+
+#ifndef BSCHED_SIM_STATS_HH
+#define BSCHED_SIM_STATS_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/** An ordered mapping from dotted stat names to values. */
+class StatSet
+{
+  public:
+    /** Add @p value to the named stat (creating it at 0). */
+    void add(const std::string& name, double value);
+
+    /** Set the named stat, overwriting any previous value. */
+    void set(const std::string& name, double value);
+
+    /** True if the stat exists. */
+    bool has(const std::string& name) const;
+
+    /** Value of the stat; 0 if absent. */
+    double get(const std::string& name) const;
+
+    /** Value of the stat; fatal() if absent (for harness assertions). */
+    double require(const std::string& name) const;
+
+    /** Sum of all stats whose name ends with @p suffix. */
+    double sumBySuffix(const std::string& suffix) const;
+
+    /** All (name, value) pairs in name order. */
+    const std::map<std::string, double>& entries() const { return map_; }
+
+    /** Names matching a ".suffix" query, in order. */
+    std::vector<std::string> namesBySuffix(const std::string& suffix) const;
+
+    /** Merge another StatSet, adding values for duplicate names. */
+    void merge(const StatSet& other);
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+    std::size_t size() const { return map_.size(); }
+    void clear() { map_.clear(); }
+
+  private:
+    std::map<std::string, double> map_;
+};
+
+/** Geometric mean of @p values; fatal() on empty or non-positive input. */
+double geomean(const std::vector<double>& values);
+
+/** Harmonic mean of @p values; fatal() on empty or non-positive input. */
+double harmonicMean(const std::vector<double>& values);
+
+} // namespace bsched
+
+#endif // BSCHED_SIM_STATS_HH

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every simulator module.
+ */
+
+#ifndef BSCHED_SIM_TYPES_HH
+#define BSCHED_SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace bsched {
+
+/** Simulation time, in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Byte address in the simulated global address space. */
+using Addr = std::uint64_t;
+
+/** Sentinel for "no cycle" / "never". */
+constexpr Cycle kCycleNever = std::numeric_limits<Cycle>::max();
+
+/** Sentinel for invalid ids (warp/CTA/core/kernel). */
+constexpr int kInvalidId = -1;
+
+/** Width of a warp (threads issued in lock-step). */
+constexpr int kWarpSize = 32;
+
+} // namespace bsched
+
+#endif // BSCHED_SIM_TYPES_HH

@@ -1,0 +1,549 @@
+#include "workloads/suite.hh"
+
+#include <functional>
+#include <map>
+
+#include "kernel/program_builder.hh"
+#include "sim/log.hh"
+
+namespace bsched {
+
+namespace {
+
+/** Disjoint 1 GiB address region per workload slot. */
+Addr
+region(int slot)
+{
+    return static_cast<Addr>(slot) << 30;
+}
+
+/**
+ * kmeans-like: each CTA repeatedly re-walks a private ~10KB centroid
+ * tile. One resident CTA fits in the 16KB L1; the occupancy maximum
+ * (6 CTAs) thrashes it. Trip jitter models uneven cluster sizes.
+ */
+KernelInfo
+makeKmeans(int slot)
+{
+    KernelInfo k;
+    k.name = "kmeans";
+    k.grid = {360, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 20;
+    k.typeClass = WorkloadType::Peaked;
+    ProgramBuilder b;
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = region(slot);
+    tile.footprintBytes = 8 * 1024;
+    const auto t = b.pattern(tile);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = region(slot) + (1 << 24);
+    const auto o = b.pattern(out);
+    b.loop(60, 25)
+        .load(t).alu(4)
+        .load(t).alu(4)
+        .endLoop();
+    b.loop(4).alu(2).store(o).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * bfs-like: divergent pointer chasing over a 2MB frontier plus a small
+ * per-CTA visited tile; latency-bound and cache-sensitive.
+ */
+KernelInfo
+makeBfs(int slot)
+{
+    KernelInfo k;
+    k.name = "bfs";
+    k.grid = {180, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 12;
+    k.typeClass = WorkloadType::Peaked;
+    ProgramBuilder b;
+    MemPattern rnd;
+    rnd.kind = AccessKind::Random;
+    rnd.base = region(slot);
+    rnd.footprintBytes = 1024 * 1024;
+    const auto r = b.pattern(rnd);
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = region(slot) + (1 << 24);
+    tile.footprintBytes = 6 * 1024;
+    const auto t = b.pattern(tile);
+    b.loop(30, 40)
+        .diverge(8).load(r).alu(2)
+        .converge().load(t).alu(4)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * streamcluster-like: a 6KB per-CTA working set revisited while a
+ * coalesced stream passes through; two resident CTAs fit, eight thrash.
+ */
+KernelInfo
+makeStreamcluster(int slot)
+{
+    KernelInfo k;
+    k.name = "sc";
+    k.grid = {480, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 24;
+    k.typeClass = WorkloadType::Peaked;
+    ProgramBuilder b;
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = region(slot);
+    tile.footprintBytes = 4 * 1024;
+    const auto t = b.pattern(tile);
+    b.loop(60, 20)
+        .load(t).alu(4)
+        .load(t).alu(4)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * srad-like: 8-rows-per-CTA stencil with a 2-row halo shared with each
+ * neighbouring CTA (BCS target) plus per-CTA coefficient reuse.
+ */
+KernelInfo
+makeSrad(int slot)
+{
+    KernelInfo k;
+    k.name = "srad";
+    k.grid = {480, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 28; // register-limited to 4 CTAs/core
+    k.typeClass = WorkloadType::Increasing;
+    ProgramBuilder b;
+    MemPattern halo;
+    halo.kind = AccessKind::HaloRows;
+    halo.base = region(slot);
+    halo.rowBytes = 1024;
+    halo.rowsPerCta = 4;
+    halo.haloRows = 2;
+    const auto h = b.pattern(halo);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = region(slot) + (1 << 26);
+    const auto o = b.pattern(out);
+    b.loop(40)
+        .load(h).alu(3)
+        .load(h).alu(3)
+        .endLoop();
+    b.loop(4).alu(1).store(o).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * backprop-like: coalesced streaming with a moderate dependent ALU
+ * chain; DRAM bandwidth saturates after a few CTAs.
+ */
+KernelInfo
+makeBackprop(int slot)
+{
+    KernelInfo k;
+    k.name = "bp";
+    k.grid = {240, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 16;
+    k.typeClass = WorkloadType::Saturating;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = region(slot);
+    const auto i = b.pattern(in);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = region(slot) + (1 << 26);
+    const auto o = b.pattern(out);
+    b.loop(50)
+        .load(i).alu(6).store(o)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * pathfinder-like: small stencil with shared-memory staging and
+ * per-iteration barriers (BCS target; saturating).
+ */
+KernelInfo
+makePathfinder(int slot)
+{
+    KernelInfo k;
+    k.name = "pf";
+    k.grid = {480, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 24; // register-limited to 5 CTAs/core
+    k.smemBytesPerCta = 4 * 1024;
+    k.typeClass = WorkloadType::Saturating;
+    ProgramBuilder b;
+    MemPattern halo;
+    halo.kind = AccessKind::HaloRows;
+    halo.base = region(slot);
+    halo.rowBytes = 1024;
+    halo.rowsPerCta = 4;
+    halo.haloRows = 2;
+    const auto h = b.pattern(halo);
+    MemPattern sh;
+    sh.kind = AccessKind::SharedBank;
+    sh.space = MemSpace::Shared;
+    sh.bankStride = 1;
+    const auto s = b.pattern(sh);
+    b.loop(36)
+        .load(h).alu(2)
+        .loadShared(s).alu(2)
+        .barrier()
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * lud-like: shared-memory tiles, dependent arithmetic and double
+ * barriers per iteration; shared-memory-limited occupancy.
+ */
+KernelInfo
+makeLud(int slot)
+{
+    (void)slot;
+    KernelInfo k;
+    k.name = "lud";
+    k.grid = {80, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 24;
+    k.smemBytesPerCta = 8 * 1024;
+    k.typeClass = WorkloadType::Increasing;
+    ProgramBuilder b;
+    MemPattern sh;
+    sh.kind = AccessKind::SharedBank;
+    sh.space = MemSpace::Shared;
+    sh.bankStride = 1;
+    const auto s = b.pattern(sh);
+    b.loop(44)
+        .loadShared(s).alu(4)
+        .barrier()
+        .loadShared(s).alu(4)
+        .barrier()
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * nw-like: tiny 2-warp CTAs over a diagonal wavefront; halo rows shared
+ * with the next CTA (BCS target).
+ */
+KernelInfo
+makeNw(int slot)
+{
+    KernelInfo k;
+    k.name = "nw";
+    k.grid = {160, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 20;
+    k.smemBytesPerCta = 4 * 1024;
+    k.typeClass = WorkloadType::Increasing;
+    ProgramBuilder b;
+    MemPattern halo;
+    halo.kind = AccessKind::HaloRows;
+    halo.base = region(slot);
+    halo.rowBytes = 1024;
+    halo.rowsPerCta = 4;
+    halo.haloRows = 2;
+    const auto h = b.pattern(halo);
+    MemPattern sh;
+    sh.kind = AccessKind::SharedBank;
+    sh.space = MemSpace::Shared;
+    sh.bankStride = 1;
+    const auto s = b.pattern(sh);
+    b.loop(40)
+        .load(h).alu(3)
+        .loadShared(s)
+        .barrier()
+        .alu(3)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * sgemm-like: global tile staged into shared memory behind a barrier,
+ * then a long dependent FMA chain; register-limited to 4 CTAs and
+ * hungry for every warp it can get (Type-2).
+ */
+KernelInfo
+makeGemm(int slot)
+{
+    KernelInfo k;
+    k.name = "gemm";
+    k.grid = {96, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 32;
+    k.smemBytesPerCta = 8 * 1024;
+    k.typeClass = WorkloadType::Increasing;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = region(slot);
+    const auto i = b.pattern(in);
+    MemPattern sh;
+    sh.kind = AccessKind::SharedBank;
+    sh.space = MemSpace::Shared;
+    sh.bankStride = 1;
+    const auto s = b.pattern(sh);
+    b.loop(30)
+        .load(i).storeShared(s)
+        .barrier()
+        .loadShared(s).alu(10)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * lavaMD-like: particle interactions — SFU-heavy dependent compute with
+ * a small per-CTA neighbour tile (Type-2).
+ */
+KernelInfo
+makeLavamd(int slot)
+{
+    KernelInfo k;
+    k.name = "lavamd";
+    k.grid = {90, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 28;
+    k.typeClass = WorkloadType::Peaked;
+    ProgramBuilder b;
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = region(slot);
+    tile.footprintBytes = 2 * 1024;
+    const auto t = b.pattern(tile);
+    b.loop(64)
+        .alu(4).sfu(1)
+        .load(t).alu(4)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * hotspot-like: 4-rows-per-CTA stencil with a 1-row halo and a real
+ * compute tail; the flagship BCS/BAWS workload.
+ */
+KernelInfo
+makeHotspot(int slot)
+{
+    KernelInfo k;
+    k.name = "hs";
+    k.grid = {480, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 32; // register-limited to 4 CTAs/core
+    k.typeClass = WorkloadType::Increasing;
+    ProgramBuilder b;
+    MemPattern halo;
+    halo.kind = AccessKind::HaloRows;
+    halo.base = region(slot);
+    halo.rowBytes = 1024;
+    halo.rowsPerCta = 4;
+    halo.haloRows = 2;
+    const auto h = b.pattern(halo);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = region(slot) + (1 << 26);
+    const auto o = b.pattern(out);
+    b.loop(32)
+        .load(h).alu(2)
+        .load(h).alu(2)
+        .endLoop();
+    b.loop(2).alu(1).store(o).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * nn-like: pure coalesced streaming with an SFU per element; bandwidth
+ * saturates almost immediately.
+ */
+KernelInfo
+makeNn(int slot)
+{
+    KernelInfo k;
+    k.name = "nn";
+    k.grid = {150, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 10;
+    k.typeClass = WorkloadType::Saturating;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = region(slot);
+    const auto i = b.pattern(in);
+    b.loop(40)
+        .load(i).alu(1).sfu(1)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * spmv-like: column-strided value fetches (8 lines per warp access)
+ * against a coalesced row-pointer stream; bandwidth-amplified.
+ */
+KernelInfo
+makeSpmv(int slot)
+{
+    KernelInfo k;
+    k.name = "spmv";
+    k.grid = {120, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 16;
+    k.typeClass = WorkloadType::Saturating;
+    ProgramBuilder b;
+    MemPattern vals;
+    vals.kind = AccessKind::Strided;
+    vals.base = region(slot);
+    vals.strideElems = 8;
+    const auto v = b.pattern(vals);
+    MemPattern rows;
+    rows.kind = AccessKind::Coalesced;
+    rows.base = region(slot) + (1 << 27);
+    const auto r = b.pattern(rows);
+    b.loop(24, 30)
+        .load(r).alu(1)
+        .load(v).alu(2)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+/**
+ * mummergpu-like: heavily divergent random walks over an 8MB suffix
+ * tree; pure latency-bound pointer chasing.
+ */
+KernelInfo
+makeMummer(int slot)
+{
+    KernelInfo k;
+    k.name = "mummer";
+    k.grid = {120, 1, 1};
+    k.cta = {192, 1, 1};
+    k.regsPerThread = 20;
+    k.typeClass = WorkloadType::Peaked;
+    ProgramBuilder b;
+    MemPattern rnd;
+    rnd.kind = AccessKind::Random;
+    rnd.base = region(slot);
+    rnd.footprintBytes = 2 * 1024 * 1024;
+    const auto r = b.pattern(rnd);
+    b.loop(32, 40)
+        .diverge(8).load(r).alu(2)
+        .converge().alu(2)
+        .endLoop();
+    k.program = b.build();
+    return k;
+}
+
+struct Entry
+{
+    std::function<KernelInfo(int)> make;
+    std::string notes;
+};
+
+const std::vector<std::pair<std::string, Entry>>&
+registry()
+{
+    static const std::vector<std::pair<std::string, Entry>> reg = {
+        {"kmeans", {makeKmeans,
+            "per-CTA 8KB tile reuse; L1-capacity sensitive"}},
+        {"bfs", {makeBfs,
+            "divergent random frontier + visited tile"}},
+        {"sc", {makeStreamcluster,
+            "4KB per-CTA working set, 8 resident thrash the L1"}},
+        {"srad", {makeSrad,
+            "4-row stencil, 2-row halo; BCS target"}},
+        {"bp", {makeBackprop,
+            "coalesced stream + ALU chain; BW saturating"}},
+        {"pf", {makePathfinder,
+            "small stencil + smem + barrier; BCS target"}},
+        {"lud", {makeLud,
+            "smem tiles, double barrier, smem-limited"}},
+        {"nw", {makeNw,
+            "2-warp CTAs, halo + smem + barrier; BCS target"}},
+        {"gemm", {makeGemm,
+            "smem-staged FMA chains, reg-limited"}},
+        {"lavamd", {makeLavamd,
+            "SFU-heavy dependent compute"}},
+        {"hs", {makeHotspot,
+            "4-row stencil, 2-row halo, reg-limited; BCS flagship"}},
+        {"nn", {makeNn,
+            "pure streaming + SFU; BW-bound"}},
+        {"spmv", {makeSpmv,
+            "8-line strided value fetch; BW-amplified"}},
+        {"mummer", {makeMummer,
+            "divergent 2MB random walk; latency-bound"}},
+    };
+    return reg;
+}
+
+} // namespace
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    for (const auto& [name, entry] : registry())
+        names.push_back(name);
+    return names;
+}
+
+KernelInfo
+makeWorkload(const std::string& name)
+{
+    const auto& reg = registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+        if (reg[i].first == name) {
+            KernelInfo k = reg[i].second.make(static_cast<int>(i) + 1);
+            k.validate();
+            return k;
+        }
+    }
+    fatal("unknown workload: ", name);
+}
+
+std::vector<KernelInfo>
+makeSuite()
+{
+    std::vector<KernelInfo> suite;
+    for (const auto& name : workloadNames())
+        suite.push_back(makeWorkload(name));
+    return suite;
+}
+
+std::vector<std::string>
+localityWorkloadNames()
+{
+    return {"hs", "srad", "pf", "nw"};
+}
+
+std::string
+workloadNotes(const std::string& name)
+{
+    for (const auto& [n, entry] : registry()) {
+        if (n == name)
+            return entry.notes;
+    }
+    fatal("unknown workload: ", name);
+}
+
+} // namespace bsched

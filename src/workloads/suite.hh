@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The synthetic workload suite. Each workload reproduces the resource
+ * profile (CTA size, registers, shared memory), instruction mix and
+ * memory-access structure of a Rodinia/Parboil-class GPGPU benchmark,
+ * calibrated so the suite spans the paper's three IPC-vs-CTA-count
+ * classes and includes the inter-CTA-locality kernels BCS targets.
+ *
+ * Per-workload notes live in the registry in suite.cc; measured type
+ * classifications are recorded in EXPERIMENTS.md.
+ */
+
+#ifndef BSCHED_WORKLOADS_SUITE_HH
+#define BSCHED_WORKLOADS_SUITE_HH
+
+#include <string>
+#include <vector>
+
+#include "kernel/kernel_info.hh"
+
+namespace bsched {
+
+/** Names of all suite workloads, in canonical order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Build one workload by name (fatal() on unknown names). Each call
+ * constructs a fresh KernelInfo; the same name always yields an
+ * identical kernel.
+ */
+KernelInfo makeWorkload(const std::string& name);
+
+/** Build the whole suite in canonical order. */
+std::vector<KernelInfo> makeSuite();
+
+/** Workloads with inter-CTA locality (the BCS/E9/E10 subset). */
+std::vector<std::string> localityWorkloadNames();
+
+/** One-line description of a workload (fatal() on unknown names). */
+std::string workloadNotes(const std::string& name);
+
+} // namespace bsched
+
+#endif // BSCHED_WORKLOADS_SUITE_HH

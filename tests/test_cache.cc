@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the set-associative LRU tag array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+namespace bsched {
+namespace {
+
+CacheConfig
+smallCache()
+{
+    CacheConfig c;
+    c.sizeBytes = 2 * 1024; // 4 sets x 4 ways x 128B
+    c.lineBytes = 128;
+    c.assoc = 4;
+    return c;
+}
+
+TEST(TagArray, MissThenHitAfterFill)
+{
+    TagArray tags(smallCache(), "t");
+    EXPECT_FALSE(tags.access(0x1000, 1));
+    tags.fill(0x1000, 1);
+    EXPECT_TRUE(tags.access(0x1000, 2));
+    EXPECT_EQ(tags.accesses(), 2u);
+    EXPECT_EQ(tags.hits(), 1u);
+    EXPECT_EQ(tags.misses(), 1u);
+}
+
+TEST(TagArray, ProbeDoesNotCountOrTouch)
+{
+    TagArray tags(smallCache(), "t");
+    tags.fill(0x1000, 1);
+    EXPECT_TRUE(tags.probe(0x1000));
+    EXPECT_FALSE(tags.probe(0x2000));
+    EXPECT_EQ(tags.accesses(), 0u);
+}
+
+TEST(TagArray, LruEvictsLeastRecentlyUsed)
+{
+    const CacheConfig cfg = smallCache();
+    TagArray tags(cfg, "t");
+    // Fill one set (set 0): lines whose index % 4 == 0.
+    const Addr set_stride = 4 * 128;
+    for (int w = 0; w < 4; ++w)
+        tags.fill(w * set_stride, static_cast<Cycle>(w + 1));
+    // Touch line 0 to make it MRU.
+    EXPECT_TRUE(tags.access(0, 10));
+    // Next fill evicts line at set_stride (LRU).
+    const Eviction ev = tags.fill(4 * set_stride, 11);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, set_stride);
+    EXPECT_TRUE(tags.probe(0));
+}
+
+TEST(TagArray, EvictionReconstructsLineAddress)
+{
+    TagArray tags(smallCache(), "t");
+    const Addr victim = 0x1230 * 128; // arbitrary line
+    tags.fill(victim, 1);
+    // Fill 4 more lines in the same set to force it out.
+    const Addr set_stride = 4 * 128;
+    for (int w = 1; w <= 4; ++w)
+        tags.fill(victim + w * set_stride, static_cast<Cycle>(w + 1));
+    // One of the evictions must be the original victim.
+    EXPECT_FALSE(tags.probe(victim));
+}
+
+TEST(TagArray, DirtyBitTracksThroughEviction)
+{
+    TagArray tags(smallCache(), "t");
+    tags.fill(0x1000, 1);
+    EXPECT_TRUE(tags.markDirty(0x1000));
+    const Addr set_stride = 4 * 128;
+    Eviction dirty_evict;
+    for (int w = 1; w <= 4; ++w) {
+        const Eviction ev =
+            tags.fill(0x1000 + w * set_stride, static_cast<Cycle>(w + 1));
+        if (ev.valid && ev.lineAddr == 0x1000)
+            dirty_evict = ev;
+    }
+    ASSERT_TRUE(dirty_evict.valid);
+    EXPECT_TRUE(dirty_evict.dirty);
+}
+
+TEST(TagArray, MarkDirtyOnAbsentLineFails)
+{
+    TagArray tags(smallCache(), "t");
+    EXPECT_FALSE(tags.markDirty(0x5000));
+}
+
+TEST(TagArray, DoubleFillDies)
+{
+    TagArray tags(smallCache(), "t");
+    tags.fill(0x1000, 1);
+    EXPECT_DEATH(tags.fill(0x1000, 2), "already-present");
+}
+
+TEST(TagArray, FlushInvalidatesEverything)
+{
+    TagArray tags(smallCache(), "t");
+    tags.fill(0x1000, 1);
+    tags.flushAll();
+    EXPECT_FALSE(tags.probe(0x1000));
+}
+
+TEST(TagArray, SameCycleFillsBreakTiesBySequence)
+{
+    TagArray tags(smallCache(), "t");
+    const Addr set_stride = 4 * 128;
+    for (int w = 0; w < 4; ++w)
+        tags.fill(w * set_stride, 5); // all at cycle 5
+    const Eviction ev = tags.fill(4 * set_stride, 5);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0u); // first-filled is the victim
+}
+
+TEST(TagArray, StatsExport)
+{
+    TagArray tags(smallCache(), "x");
+    tags.access(0x1000, 1);
+    tags.fill(0x1000, 1);
+    tags.access(0x1000, 2);
+    StatSet stats;
+    tags.addStats(stats, "x");
+    EXPECT_DOUBLE_EQ(stats.get("x.access"), 2.0);
+    EXPECT_DOUBLE_EQ(stats.get("x.hit"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("x.miss"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("x.fill"), 1.0);
+}
+
+} // namespace
+} // namespace bsched

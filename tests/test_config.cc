@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Unit tests for GpuConfig validation and derived quantities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/config.hh"
+
+namespace bsched {
+namespace {
+
+TEST(GpuConfig, DefaultValidates)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.validate(); // must not die
+    EXPECT_EQ(config.numCores, 15u);
+    EXPECT_EQ(config.maxWarpsPerCore(), 48u);
+}
+
+TEST(GpuConfig, CacheGeometryDerived)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    EXPECT_EQ(config.l1d.numSets(), 32u);
+    EXPECT_EQ(config.l2.numSets(), 128u);
+}
+
+TEST(GpuConfig, RejectsZeroCores)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.numCores = 0;
+    EXPECT_DEATH(config.validate(), "numCores");
+}
+
+TEST(GpuConfig, RejectsNonWarpMultipleThreads)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.maxThreadsPerCore = 1000;
+    EXPECT_DEATH(config.validate(), "warp size");
+}
+
+TEST(GpuConfig, RejectsNonPow2CacheSets)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.l1d.sizeBytes = 24 * 1024; // 48 sets
+    EXPECT_DEATH(config.validate(), "power of two");
+}
+
+TEST(GpuConfig, RejectsMismatchedLineSizes)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.l2.lineBytes = 64;
+    EXPECT_DEATH(config.validate(), "");
+}
+
+TEST(GpuConfig, RejectsExcessiveStaticLimit)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.staticCtaLimit = config.maxCtasPerCore + 1;
+    EXPECT_DEATH(config.validate(), "staticCtaLimit");
+}
+
+TEST(GpuConfig, RejectsOversizedBcsBlock)
+{
+    GpuConfig config = GpuConfig::gtx480();
+    config.bcs.blockSize = config.maxCtasPerCore + 1;
+    EXPECT_DEATH(config.validate(), "block size");
+}
+
+TEST(GpuConfig, EnumNames)
+{
+    EXPECT_STREQ(toString(WarpSchedKind::GTO), "gto");
+    EXPECT_STREQ(toString(WarpSchedKind::BAWS), "baws");
+    EXPECT_STREQ(toString(CtaSchedKind::LazyBlock), "lcs+bcs");
+    EXPECT_STREQ(toString(LcsWindowMode::FirstCtaDone), "first-cta-done");
+}
+
+TEST(GpuConfig, ToStringMentionsKeyParameters)
+{
+    const std::string text = GpuConfig::gtx480().toString();
+    EXPECT_NE(text.find("15"), std::string::npos);
+    EXPECT_NE(text.find("gto"), std::string::npos);
+    EXPECT_NE(text.find("16 KB"), std::string::npos);
+}
+
+} // namespace
+} // namespace bsched

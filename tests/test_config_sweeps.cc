@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Machine-shape property sweeps: the simulator must stay correct (work
+ * conservation, drain, determinism) across core counts, partition
+ * counts, issue widths and cache geometries — not just the default
+ * GTX480 shape.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "gpu/gpu.hh"
+#include "harness/runner.hh"
+#include "kernel/program_builder.hh"
+
+namespace bsched {
+namespace {
+
+KernelInfo
+mixedKernel()
+{
+    KernelInfo k;
+    k.name = "mixed";
+    k.grid = {10, 1, 1};
+    k.cta = {96, 1, 1};
+    k.regsPerThread = 16;
+    k.smemBytesPerCta = 2048;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = 0x40000000;
+    const auto i = b.pattern(in);
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = 0x80000000;
+    tile.footprintBytes = 4096;
+    const auto t = b.pattern(tile);
+    MemPattern sh;
+    sh.kind = AccessKind::SharedBank;
+    sh.space = MemSpace::Shared;
+    sh.bankStride = 2;
+    const auto s = b.pattern(sh);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = 0xc0000000;
+    const auto o = b.pattern(out);
+    b.loop(5)
+        .load(i).alu(2)
+        .load(t).sfu(1)
+        .loadShared(s).alu(1)
+        .barrier()
+        .store(o)
+        .endLoop();
+    k.program = b.build();
+    k.validate();
+    return k;
+}
+
+/** (cores, partitions, schedulers/core, L1 KB). */
+using Shape = std::tuple<std::uint32_t, std::uint32_t, std::uint32_t,
+                         std::uint32_t>;
+
+class MachineShapes : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    GpuConfig
+    config() const
+    {
+        const auto [cores, parts, scheds, l1kb] = GetParam();
+        GpuConfig c = GpuConfig::gtx480();
+        c.numCores = cores;
+        c.numMemPartitions = parts;
+        c.numSchedulersPerCore = scheds;
+        c.l1d.sizeBytes = l1kb * 1024;
+        c.validate();
+        return c;
+    }
+};
+
+TEST_P(MachineShapes, WorkConservationAndDrain)
+{
+    const KernelInfo k = mixedKernel();
+    Gpu gpu(config());
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), k.totalDynamicInstrs());
+    EXPECT_TRUE(gpu.drained());
+}
+
+TEST_P(MachineShapes, Deterministic)
+{
+    const KernelInfo k = mixedKernel();
+    Gpu a(config());
+    a.launchKernel(k);
+    a.run();
+    Gpu b(config());
+    b.launchKernel(k);
+    b.run();
+    EXPECT_EQ(a.cycle(), b.cycle());
+    EXPECT_EQ(a.stats().toString(), b.stats().toString());
+}
+
+TEST_P(MachineShapes, StatsConservation)
+{
+    const KernelInfo k = mixedKernel();
+    Gpu gpu(config());
+    gpu.launchKernel(k);
+    gpu.run();
+    const StatSet stats = gpu.stats();
+    EXPECT_DOUBLE_EQ(stats.sumBySuffix(".l1d.access"),
+                     stats.sumBySuffix(".l1d.hit") +
+                         stats.sumBySuffix(".l1d.miss"));
+    EXPECT_DOUBLE_EQ(stats.sumBySuffix(".dram.read"),
+                     stats.sumBySuffix(".l2mshr.alloc"));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MachineShapes,
+    ::testing::Values(Shape{1, 1, 1, 16}, Shape{1, 2, 2, 8},
+                      Shape{2, 1, 2, 16}, Shape{4, 3, 1, 32},
+                      Shape{8, 6, 2, 16}, Shape{15, 6, 2, 64}),
+    [](const ::testing::TestParamInfo<Shape>& info) {
+        // Note: no structured bindings here — their brackets do not
+        // shield commas from the INSTANTIATE macro's preprocessor.
+        return "c" + std::to_string(std::get<0>(info.param)) + "p" +
+            std::to_string(std::get<1>(info.param)) + "s" +
+            std::to_string(std::get<2>(info.param)) + "l" +
+            std::to_string(std::get<3>(info.param));
+    });
+
+/**
+ * More cores must not make the whole-grid runtime meaningfully longer.
+ * (A small regression is physical: concurrent cores interleave DRAM
+ * traffic and lose row-buffer locality a single core would keep.)
+ */
+TEST(MachineScaling, MoreCoresNotMeaningfullySlower)
+{
+    const KernelInfo k = mixedKernel();
+    GpuConfig small = GpuConfig::gtx480();
+    small.numCores = 1;
+    small.numMemPartitions = 2;
+    GpuConfig big = small;
+    big.numCores = 4;
+    const RunResult one = runKernel(small, k);
+    const RunResult four = runKernel(big, k);
+    EXPECT_LE(four.cycles, one.cycles + one.cycles / 5);
+}
+
+/** A larger L1 must not increase the miss count of a reuse kernel. */
+TEST(MachineScaling, BiggerL1NeverMissesMore)
+{
+    KernelInfo k;
+    k.name = "reuse";
+    k.grid = {8, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = 0x40000000;
+    tile.footprintBytes = 8 * 1024;
+    const auto t = b.pattern(tile);
+    b.loop(20).load(t).alu(2).endLoop();
+    k.program = b.build();
+
+    GpuConfig small = GpuConfig::gtx480();
+    small.numCores = 2;
+    small.numMemPartitions = 2;
+    small.l1d.sizeBytes = 8 * 1024;
+    GpuConfig big = small;
+    big.l1d.sizeBytes = 64 * 1024;
+    const RunResult a = runKernel(small, k);
+    const RunResult c = runKernel(big, k);
+    EXPECT_LE(c.stats.sumBySuffix(".l1d.miss"),
+              a.stats.sumBySuffix(".l1d.miss"));
+}
+
+} // namespace
+} // namespace bsched

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Edge-case coverage across modules: degenerate launch geometries,
+ * store-only kernels, divergence extremes, full-occupancy mixes, and
+ * kernel-boundary drain semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "harness/runner.hh"
+#include "kernel/program_builder.hh"
+
+namespace bsched {
+namespace {
+
+GpuConfig
+cfg()
+{
+    GpuConfig c = GpuConfig::gtx480();
+    c.numCores = 2;
+    c.numMemPartitions = 2;
+    return c;
+}
+
+TEST(EdgeCases, SingleCtaSingleWarpGrid)
+{
+    KernelInfo k;
+    k.name = "tiny";
+    k.grid = {1, 1, 1};
+    k.cta = {32, 1, 1};
+    k.regsPerThread = 8;
+    ProgramBuilder b;
+    b.alu(3);
+    k.program = b.build();
+    Gpu gpu(cfg());
+    const int id = gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), 3u);
+    EXPECT_GT(gpu.kernelCycles(id), 0u);
+}
+
+TEST(EdgeCases, MaxSizeCtaRuns)
+{
+    KernelInfo k;
+    k.name = "big-cta";
+    k.grid = {3, 1, 1};
+    k.cta = {1024, 1, 1}; // 32 warps, one CTA per core by threads? 1536/1024=1
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    b.loop(4).alu(2, false).endLoop();
+    k.program = b.build();
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), k.totalDynamicInstrs());
+}
+
+TEST(EdgeCases, NonWarpMultipleCtaRoundsUp)
+{
+    KernelInfo k;
+    k.name = "ragged";
+    k.grid = {2, 1, 1};
+    k.cta = {50, 1, 1}; // 2 warps worth of slots
+    k.regsPerThread = 8;
+    ProgramBuilder b;
+    b.alu(1);
+    k.program = b.build();
+    EXPECT_EQ(k.warpsPerCta(), 2u);
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    // Both rounded-up warps execute the program.
+    EXPECT_EQ(gpu.totalInstrsIssued(), 2u * 2u * 1u);
+}
+
+TEST(EdgeCases, StoreOnlyKernelDrains)
+{
+    KernelInfo k;
+    k.name = "stores";
+    k.grid = {8, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 8;
+    ProgramBuilder b;
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = 0x30000000;
+    const auto o = b.pattern(out);
+    b.loop(6).alu(1).store(o).endLoop();
+    k.program = b.build();
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_TRUE(gpu.drained());
+    const StatSet stats = gpu.stats();
+    // Fire-and-forget stores all reached the partitions by end of run.
+    EXPECT_DOUBLE_EQ(stats.sumBySuffix(".req_write"),
+                     8.0 * 2 * 6); // 8 CTAs x 2 warps x 6 stores (1 line)
+}
+
+TEST(EdgeCases, FullyDivergentSingleLaneLoads)
+{
+    KernelInfo k;
+    k.name = "lane1";
+    k.grid = {2, 1, 1};
+    k.cta = {32, 1, 1};
+    k.regsPerThread = 8;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = 0x30000000;
+    const auto i = b.pattern(in);
+    b.loop(3).diverge(1).load(i).alu(1).endLoop();
+    k.program = b.build();
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), k.totalDynamicInstrs());
+}
+
+TEST(EdgeCases, BarrierWithSingleWarpCta)
+{
+    // A one-warp CTA's barrier must release immediately (it is the only
+    // participant), not deadlock.
+    KernelInfo k;
+    k.name = "solo-bar";
+    k.grid = {2, 1, 1};
+    k.cta = {32, 1, 1};
+    k.regsPerThread = 8;
+    ProgramBuilder b;
+    b.loop(5).alu(1).barrier().endLoop();
+    k.program = b.build();
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), 2u * 5 * 2);
+}
+
+TEST(EdgeCases, ManyKernelsInterleaved)
+{
+    Gpu gpu(cfg());
+    std::vector<KernelInfo> kernels(5);
+    for (int i = 0; i < 5; ++i) {
+        KernelInfo& k = kernels[static_cast<std::size_t>(i)];
+        k.name = "k" + std::to_string(i);
+        k.grid = {4, 1, 1};
+        k.cta = {64, 1, 1};
+        k.regsPerThread = 8;
+        ProgramBuilder b;
+        b.loop(static_cast<std::uint32_t>(2 + i)).alu(2, false).endLoop();
+        k.program = b.build();
+    }
+    std::uint64_t expected = 0;
+    for (auto& k : kernels) {
+        gpu.launchKernel(k);
+        expected += k.totalDynamicInstrs();
+    }
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), expected);
+    for (std::size_t i = 0; i < kernels.size(); ++i)
+        EXPECT_TRUE(gpu.kernel(static_cast<int>(i)).finished());
+}
+
+TEST(EdgeCases, SmemOnlyKernelNeverTouchesMemorySystem)
+{
+    KernelInfo k;
+    k.name = "smem-only";
+    k.grid = {4, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 8;
+    k.smemBytesPerCta = 1024;
+    ProgramBuilder b;
+    MemPattern sh;
+    sh.kind = AccessKind::SharedBank;
+    sh.space = MemSpace::Shared;
+    sh.bankStride = 1;
+    const auto s = b.pattern(sh);
+    b.loop(5).loadShared(s).alu(2).storeShared(s).endLoop();
+    k.program = b.build();
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    const StatSet stats = gpu.stats();
+    EXPECT_DOUBLE_EQ(stats.get("icnt.requests"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.sumBySuffix(".dram.read"), 0.0);
+}
+
+TEST(EdgeCases, ZeroTripLeadingSegment)
+{
+    KernelInfo k;
+    k.name = "zero-head";
+    k.grid = {2, 1, 1};
+    k.cta = {32, 1, 1};
+    k.regsPerThread = 8;
+    WarpProgram prog;
+    Segment skip;
+    Instr alu;
+    alu.op = Opcode::Alu;
+    alu.dst = 4;
+    skip.instrs = {alu};
+    skip.trips = 0;
+    prog.addSegment(skip);
+    Segment body;
+    body.instrs = {alu, alu};
+    body.trips = 2;
+    prog.addSegment(body);
+    k.program = prog;
+    Gpu gpu(cfg());
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), 2u * 4);
+}
+
+TEST(EdgeCases, HeterogeneousKernelsShareACoreUnderPressure)
+{
+    // A shared-memory hog and a register hog must co-reside correctly.
+    KernelInfo smem;
+    smem.name = "smem-hog";
+    smem.grid = {2, 1, 1};
+    smem.cta = {64, 1, 1};
+    smem.regsPerThread = 8;
+    smem.smemBytesPerCta = 24 * 1024; // 2 per core by smem
+    ProgramBuilder b1;
+    b1.loop(30).alu(1).endLoop();
+    smem.program = b1.build();
+
+    KernelInfo regs;
+    regs.name = "reg-hog";
+    regs.grid = {2, 1, 1};
+    regs.cta = {256, 1, 1};
+    regs.regsPerThread = 60; // 2 per core by registers
+    ProgramBuilder b2;
+    b2.loop(30).alu(1).endLoop();
+    regs.program = b2.build();
+
+    Gpu gpu(cfg());
+    gpu.launchKernel(smem);
+    gpu.launchKernel(regs);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(),
+              smem.totalDynamicInstrs() + regs.totalDynamicInstrs());
+}
+
+} // namespace
+} // namespace bsched

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Integration tests for the Gpu top level: end-to-end kernel execution,
+ * metrics, multi-kernel launches and spatial restriction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu.hh"
+#include "kernel/program_builder.hh"
+
+namespace bsched {
+namespace {
+
+GpuConfig
+cfg()
+{
+    GpuConfig c = GpuConfig::gtx480();
+    c.numCores = 4;
+    c.numMemPartitions = 2;
+    return c;
+}
+
+KernelInfo
+aluKernel(std::uint32_t grid = 16)
+{
+    KernelInfo k;
+    k.name = "alu";
+    k.grid = {grid, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    b.loop(10).alu(2, false).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+KernelInfo
+memKernel(std::uint32_t grid = 16)
+{
+    KernelInfo k;
+    k.name = "mem";
+    k.grid = {grid, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = 0x10000000;
+    const auto i = b.pattern(in);
+    MemPattern out;
+    out.kind = AccessKind::Coalesced;
+    out.base = 0x20000000;
+    const auto o = b.pattern(out);
+    b.loop(8).load(i).alu(2).store(o).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+TEST(Gpu, AluKernelRunsToCompletion)
+{
+    Gpu gpu(cfg());
+    const KernelInfo k = aluKernel();
+    const int id = gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_TRUE(gpu.finished());
+    EXPECT_EQ(gpu.kernel(id).ctasDone, 16u);
+    EXPECT_EQ(gpu.totalInstrsIssued(), k.totalDynamicInstrs());
+    EXPECT_GT(gpu.ipc(), 0.0);
+    EXPECT_GT(gpu.kernelCycles(id), 0u);
+}
+
+TEST(Gpu, MemKernelIssuesAllInstructionsAndDrains)
+{
+    Gpu gpu(cfg());
+    const KernelInfo k = memKernel();
+    gpu.launchKernel(k);
+    gpu.run();
+    EXPECT_EQ(gpu.totalInstrsIssued(), k.totalDynamicInstrs());
+    const StatSet stats = gpu.stats();
+    EXPECT_GT(stats.sumBySuffix(".l1d.access"), 0.0);
+    EXPECT_GT(stats.sumBySuffix(".dram.read"), 0.0);
+    // Stores are write-through: DRAM sees write traffic too
+    // (via L2 write-back of dirtied lines).
+    EXPECT_GT(stats.sumBySuffix(".req_write"), 0.0);
+}
+
+TEST(Gpu, DeterministicAcrossRuns)
+{
+    const KernelInfo k = memKernel();
+    Gpu a(cfg());
+    a.launchKernel(k);
+    a.run();
+    Gpu b(cfg());
+    b.launchKernel(k);
+    b.run();
+    EXPECT_EQ(a.cycle(), b.cycle());
+    EXPECT_EQ(a.totalInstrsIssued(), b.totalInstrsIssued());
+}
+
+TEST(Gpu, TwoKernelsConcurrently)
+{
+    Gpu gpu(cfg());
+    const KernelInfo a = aluKernel(8);
+    const KernelInfo b = memKernel(8);
+    const int ia = gpu.launchKernel(a);
+    const int ib = gpu.launchKernel(b);
+    gpu.run();
+    EXPECT_TRUE(gpu.kernel(ia).finished());
+    EXPECT_TRUE(gpu.kernel(ib).finished());
+    EXPECT_EQ(gpu.totalInstrsIssued(),
+              a.totalDynamicInstrs() + b.totalDynamicInstrs());
+}
+
+TEST(Gpu, SpatialRestrictionConfinesKernel)
+{
+    Gpu gpu(cfg());
+    const KernelInfo k = aluKernel(8);
+    gpu.launchKernel(k, 0, 2);
+    gpu.run();
+    const StatSet stats = gpu.stats();
+    EXPECT_GT(stats.get("core0.issued"), 0.0);
+    EXPECT_GT(stats.get("core1.issued"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.get("core2.issued"), 0.0);
+    EXPECT_DOUBLE_EQ(stats.get("core3.issued"), 0.0);
+}
+
+TEST(Gpu, SequentialLaunchAfterRun)
+{
+    Gpu gpu(cfg());
+    const KernelInfo a = aluKernel(8);
+    const int ia = gpu.launchKernel(a);
+    gpu.run();
+    const Cycle mid = gpu.cycle();
+    const KernelInfo b = aluKernel(8);
+    const int ib = gpu.launchKernel(b);
+    gpu.run();
+    EXPECT_GT(gpu.kernel(ib).launchCycle, 0u);
+    EXPECT_GE(gpu.kernel(ib).launchCycle, mid);
+    // Back-to-back execution: the two kernel intervals tile the run
+    // (up to the drain fences at each kernel boundary).
+    EXPECT_LE(gpu.kernelCycles(ia) + gpu.kernelCycles(ib), gpu.cycle());
+}
+
+TEST(Gpu, KernelIpcAttributedPerKernel)
+{
+    Gpu gpu(cfg());
+    const KernelInfo a = aluKernel(8);
+    const int id = gpu.launchKernel(a);
+    gpu.run();
+    const double k_ipc = gpu.kernelIpc(id);
+    EXPECT_NEAR(k_ipc,
+                static_cast<double>(a.totalDynamicInstrs()) /
+                    static_cast<double>(gpu.kernelCycles(id)),
+                1e-9);
+}
+
+TEST(Gpu, RunWithoutKernelDies)
+{
+    Gpu gpu(cfg());
+    EXPECT_DEATH(gpu.run(), "without any launched kernel");
+}
+
+TEST(Gpu, BadCoreRangeDies)
+{
+    Gpu gpu(cfg());
+    const KernelInfo k = aluKernel();
+    EXPECT_DEATH(gpu.launchKernel(k, -1), "core_begin");
+    EXPECT_DEATH(gpu.launchKernel(k, 0, 99), "core_end");
+}
+
+TEST(Gpu, MaxCyclesGuardDies)
+{
+    GpuConfig config = cfg();
+    config.maxCycles = 10; // far too small
+    Gpu gpu(config);
+    const KernelInfo k = aluKernel();
+    gpu.launchKernel(k);
+    EXPECT_DEATH(gpu.run(), "maxCycles");
+}
+
+TEST(Gpu, UnfinishedKernelCyclesQueryDies)
+{
+    Gpu gpu(cfg());
+    const KernelInfo k = aluKernel();
+    const int id = gpu.launchKernel(k);
+    EXPECT_DEATH((void)gpu.kernelCycles(id), "not finished");
+}
+
+} // namespace
+} // namespace bsched

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the interconnect: latency, bandwidth, hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "mem/interconnect.hh"
+
+namespace bsched {
+namespace {
+
+GpuConfig
+cfg()
+{
+    GpuConfig c = GpuConfig::gtx480();
+    c.icntLatency = 5;
+    c.icntFlitsPerCycle = 2;
+    return c;
+}
+
+TEST(Interconnect, RequestArrivesAfterLatency)
+{
+    Interconnect icnt(cfg());
+    MemRequest req{0x1000, false, 2};
+    const std::uint32_t p = icnt.partitionFor(req.lineAddr);
+    icnt.sendRequest(10, req);
+    EXPECT_FALSE(icnt.requestReady(p, 14));
+    EXPECT_TRUE(icnt.requestReady(p, 15));
+    const MemRequest out = icnt.popRequest(p, 15);
+    EXPECT_EQ(out.lineAddr, 0x1000u);
+    EXPECT_EQ(out.coreId, 2);
+}
+
+TEST(Interconnect, ResponseArrivesAfterLatency)
+{
+    Interconnect icnt(cfg());
+    icnt.sendResponse(0, 4, {0x2000, 4});
+    EXPECT_FALSE(icnt.responseReady(4, 4));
+    EXPECT_TRUE(icnt.responseReady(4, 5));
+    EXPECT_EQ(icnt.popResponse(4, 5).lineAddr, 0x2000u);
+}
+
+TEST(Interconnect, EjectionBandwidthIsPerCycle)
+{
+    Interconnect icnt(cfg());
+    EXPECT_TRUE(icnt.ejectBudget(0, 0));
+    EXPECT_TRUE(icnt.ejectBudget(0, 0));
+    EXPECT_FALSE(icnt.ejectBudget(0, 0));
+    EXPECT_TRUE(icnt.ejectBudget(0, 1));
+    // Independent per partition.
+    EXPECT_TRUE(icnt.ejectBudget(1, 0));
+}
+
+TEST(Interconnect, ResponseEjectBandwidthPerCore)
+{
+    Interconnect icnt(cfg());
+    EXPECT_TRUE(icnt.responseEjectBudget(3, 7));
+    EXPECT_TRUE(icnt.responseEjectBudget(3, 7));
+    EXPECT_FALSE(icnt.responseEjectBudget(3, 7));
+}
+
+TEST(Interconnect, PartitionHashCoversAllPartitionsEvenly)
+{
+    const GpuConfig c = cfg();
+    Interconnect icnt(c);
+    std::vector<int> hits(c.numMemPartitions, 0);
+    // A power-of-two stride that would camp under modulo interleaving.
+    for (std::uint64_t i = 0; i < 6000; ++i)
+        ++hits[icnt.partitionFor(i * 1024)];
+    for (std::uint32_t p = 0; p < c.numMemPartitions; ++p) {
+        EXPECT_GT(hits[p], 700) << "partition " << p << " starved";
+        EXPECT_LT(hits[p], 1300) << "partition " << p << " camped";
+    }
+}
+
+TEST(Interconnect, PartitionMappingIsStable)
+{
+    Interconnect icnt(cfg());
+    for (Addr a = 0; a < 100 * 128; a += 128)
+        EXPECT_EQ(icnt.partitionFor(a), icnt.partitionFor(a));
+    // Sub-line offsets map with their line.
+    EXPECT_EQ(icnt.partitionFor(0x1000), icnt.partitionFor(0x1004));
+}
+
+TEST(Interconnect, DrainedTracksInFlight)
+{
+    Interconnect icnt(cfg());
+    EXPECT_TRUE(icnt.drained());
+    icnt.sendRequest(0, {0x100, false, 0});
+    EXPECT_FALSE(icnt.drained());
+    const std::uint32_t p = icnt.partitionFor(0x100);
+    icnt.popRequest(p, 100);
+    EXPECT_TRUE(icnt.drained());
+}
+
+TEST(Interconnect, FifoOrderPerChannel)
+{
+    Interconnect icnt(cfg());
+    // Find two lines on the same partition.
+    Addr a = 0;
+    Addr b = 128;
+    while (icnt.partitionFor(b) != icnt.partitionFor(a))
+        b += 128;
+    icnt.sendRequest(0, {a, false, 0});
+    icnt.sendRequest(0, {b, false, 0});
+    const std::uint32_t p = icnt.partitionFor(a);
+    EXPECT_EQ(icnt.popRequest(p, 100).lineAddr, a);
+    EXPECT_EQ(icnt.popRequest(p, 100).lineAddr, b);
+}
+
+} // namespace
+} // namespace bsched

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the memory partition (L2 bank + DRAM channel).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/mem_partition.hh"
+
+namespace bsched {
+namespace {
+
+GpuConfig
+cfg()
+{
+    GpuConfig c = GpuConfig::gtx480();
+    c.numMemPartitions = 1; // simplest local-line compaction
+    return c;
+}
+
+/** Run ticks until a response shows up or the budget runs out. */
+bool
+runUntilResponse(MemPartition& part, Cycle& t, Cycle budget = 2000)
+{
+    const Cycle end = t + budget;
+    while (t < end) {
+        part.tick(t);
+        if (part.responseReady())
+            return true;
+        ++t;
+    }
+    return false;
+}
+
+TEST(MemPartition, ReadMissFetchesFromDramAndReplies)
+{
+    MemPartition part(cfg(), 0);
+    Cycle t = 0;
+    part.pushRequest(t, {0x1000, false, 3});
+    ASSERT_TRUE(runUntilResponse(part, t));
+    const MemResponse resp = part.popResponse();
+    EXPECT_EQ(resp.lineAddr, 0x1000u);
+    EXPECT_EQ(resp.coreId, 3);
+    EXPECT_EQ(part.dram().reads(), 1u);
+    EXPECT_TRUE(part.drained());
+}
+
+TEST(MemPartition, ReadHitDoesNotTouchDram)
+{
+    MemPartition part(cfg(), 0);
+    Cycle t = 0;
+    part.pushRequest(t, {0x1000, false, 1});
+    ASSERT_TRUE(runUntilResponse(part, t));
+    part.popResponse();
+    const std::uint64_t dram_reads = part.dram().reads();
+    part.pushRequest(t, {0x1000, false, 2});
+    ASSERT_TRUE(runUntilResponse(part, t));
+    EXPECT_EQ(part.popResponse().coreId, 2);
+    EXPECT_EQ(part.dram().reads(), dram_reads);
+}
+
+TEST(MemPartition, ConcurrentReadsToSameLineMergeInMshr)
+{
+    MemPartition part(cfg(), 0);
+    Cycle t = 0;
+    part.pushRequest(t, {0x2000, false, 1});
+    part.pushRequest(t, {0x2000, false, 2});
+    ASSERT_TRUE(runUntilResponse(part, t));
+    // Both replies, one DRAM fetch.
+    int replies = 0;
+    const Cycle end = t + 100;
+    while (t < end) {
+        part.tick(t);
+        while (part.responseReady()) {
+            part.popResponse();
+            ++replies;
+        }
+        ++t;
+    }
+    EXPECT_EQ(replies, 2);
+    EXPECT_EQ(part.dram().reads(), 1u);
+}
+
+TEST(MemPartition, WriteMissFetchesAndDirtiesWithoutReply)
+{
+    MemPartition part(cfg(), 0);
+    Cycle t = 0;
+    part.pushRequest(t, {0x3000, true, 1});
+    for (; t < 2000; ++t)
+        part.tick(t);
+    EXPECT_FALSE(part.responseReady());
+    EXPECT_EQ(part.dram().reads(), 1u); // fetch-on-write
+    EXPECT_TRUE(part.drained());
+}
+
+TEST(MemPartition, DirtyEvictionWritesBack)
+{
+    GpuConfig c = cfg();
+    // Tiny L2: 2 sets x 2 ways.
+    c.l2.sizeBytes = 512;
+    c.l2.assoc = 2;
+    MemPartition part(c, 0);
+    Cycle t = 0;
+    // Dirty line in set 0.
+    part.pushRequest(t, {0, true, 1});
+    for (; t < 2000; ++t)
+        part.tick(t);
+    // Two more fills into set 0 evict the dirty line.
+    const Addr set_stride = 2 * 128;
+    part.pushRequest(t, {set_stride, false, 1});
+    part.pushRequest(t, {2 * set_stride, false, 1});
+    for (Cycle end = t + 3000; t < end; ++t) {
+        part.tick(t);
+        while (part.responseReady())
+            part.popResponse();
+    }
+    EXPECT_EQ(part.dram().writes(), 1u);
+    EXPECT_TRUE(part.drained());
+}
+
+TEST(MemPartition, InputBackpressure)
+{
+    MemPartition part(cfg(), 0);
+    int pushed = 0;
+    while (part.canAcceptRequest()) {
+        part.pushRequest(0, {static_cast<Addr>(pushed) * 128, false, 0});
+        ++pushed;
+    }
+    EXPECT_GT(pushed, 0);
+    EXPECT_FALSE(part.canAcceptRequest());
+}
+
+TEST(MemPartition, FlushRequiresDrained)
+{
+    MemPartition part(cfg(), 0);
+    part.pushRequest(0, {0x100, false, 0});
+    EXPECT_DEATH(part.flush(), "not drained");
+}
+
+TEST(MemPartition, StatsExported)
+{
+    MemPartition part(cfg(), 0);
+    Cycle t = 0;
+    part.pushRequest(t, {0x1000, false, 1});
+    ASSERT_TRUE(runUntilResponse(part, t));
+    part.popResponse();
+    StatSet stats;
+    part.addStats(stats);
+    EXPECT_DOUBLE_EQ(stats.get("part0.req_read"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("part0.l2.miss"), 1.0);
+    EXPECT_DOUBLE_EQ(stats.get("part0.dram.read"), 1.0);
+}
+
+} // namespace
+} // namespace bsched

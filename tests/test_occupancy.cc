@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the CUDA-style occupancy calculator and CoreResources.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/occupancy.hh"
+#include "kernel/program_builder.hh"
+
+namespace bsched {
+namespace {
+
+KernelInfo
+kernelWith(std::uint32_t threads, std::uint32_t regs, std::uint32_t smem)
+{
+    KernelInfo k;
+    k.name = "occ";
+    k.grid = {10, 1, 1};
+    k.cta = {threads, 1, 1};
+    k.regsPerThread = regs;
+    k.smemBytesPerCta = smem;
+    ProgramBuilder b;
+    b.alu(1);
+    k.program = b.build();
+    return k;
+}
+
+TEST(Occupancy, FootprintRoundsThreadsToWarps)
+{
+    const auto fp = ctaFootprint(kernelWith(100, 16, 0));
+    EXPECT_EQ(fp.warps, 4u);
+    EXPECT_EQ(fp.threads, 128u);
+    EXPECT_EQ(fp.regs, 128u * 16);
+}
+
+TEST(Occupancy, ThreadLimited)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    // 256 threads, tiny regs: 1536/256 = 6 CTAs.
+    const auto k = kernelWith(256, 8, 0);
+    EXPECT_EQ(maxCtasPerCore(config, k), 6u);
+    EXPECT_EQ(occupancyLimiter(config, k), OccupancyLimiter::Threads);
+}
+
+TEST(Occupancy, RegisterLimited)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    // 256 threads x 32 regs = 8192 regs/CTA: 32768/8192 = 4 CTAs.
+    const auto k = kernelWith(256, 32, 0);
+    EXPECT_EQ(maxCtasPerCore(config, k), 4u);
+    EXPECT_EQ(occupancyLimiter(config, k), OccupancyLimiter::Registers);
+}
+
+TEST(Occupancy, SharedMemLimited)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    // 48KB / 16KB = 3 CTAs.
+    const auto k = kernelWith(64, 8, 16 * 1024);
+    EXPECT_EQ(maxCtasPerCore(config, k), 3u);
+    EXPECT_EQ(occupancyLimiter(config, k), OccupancyLimiter::SharedMem);
+}
+
+TEST(Occupancy, CtaSlotLimited)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    // Tiny CTAs: slot limit (8) binds.
+    const auto k = kernelWith(32, 8, 0);
+    EXPECT_EQ(maxCtasPerCore(config, k), 8u);
+    EXPECT_EQ(occupancyLimiter(config, k), OccupancyLimiter::CtaSlots);
+}
+
+TEST(Occupancy, OversizedCtaDies)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    const auto k = kernelWith(512, 64, 0); // 32768 regs for one CTA
+    EXPECT_EQ(maxCtasPerCore(config, k), 1u);
+    const auto k2 = kernelWith(1024, 64, 0); // 64K regs > file
+    EXPECT_DEATH(maxCtasPerCore(config, k2), "exceeds core resources");
+}
+
+TEST(CoreResources, AllocateAndReleaseRoundTrip)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    CoreResources res(config);
+    const auto fp = ctaFootprint(kernelWith(256, 16, 4096));
+    EXPECT_EQ(res.residentCtas(), 0u);
+    res.allocate(fp);
+    EXPECT_EQ(res.residentCtas(), 1u);
+    EXPECT_EQ(res.freeThreads(), config.maxThreadsPerCore - 256);
+    EXPECT_EQ(res.freeSmem(), config.smemBytesPerCore - 4096);
+    res.release(fp);
+    EXPECT_EQ(res.residentCtas(), 0u);
+    EXPECT_EQ(res.freeThreads(), config.maxThreadsPerCore);
+}
+
+TEST(CoreResources, FitsMatchesOccupancyMax)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    const auto k = kernelWith(256, 32, 0);
+    const auto fp = ctaFootprint(k);
+    CoreResources res(config);
+    const std::uint32_t n_max = maxCtasPerCore(config, k);
+    for (std::uint32_t n = 0; n < n_max; ++n) {
+        ASSERT_TRUE(res.fits(fp)) << "n=" << n;
+        res.allocate(fp);
+    }
+    EXPECT_FALSE(res.fits(fp));
+}
+
+TEST(CoreResources, OverAllocationDies)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    CoreResources res(config);
+    CtaFootprint fp;
+    fp.threads = config.maxThreadsPerCore + kWarpSize;
+    fp.warps = fp.threads / kWarpSize;
+    EXPECT_DEATH(res.allocate(fp), "beyond capacity");
+}
+
+TEST(CoreResources, OverReleaseDies)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    CoreResources res(config);
+    EXPECT_DEATH(res.release(CtaFootprint{}), "without allocation");
+}
+
+} // namespace
+} // namespace bsched

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the fluent ProgramBuilder.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/program_builder.hh"
+
+namespace bsched {
+namespace {
+
+TEST(ProgramBuilder, BuildsLoopedProgram)
+{
+    ProgramBuilder b;
+    b.loop(10).alu(3).endLoop();
+    const WarpProgram prog = b.build();
+    ASSERT_EQ(prog.segments().size(), 1u);
+    EXPECT_EQ(prog.segments()[0].trips, 10u);
+    EXPECT_EQ(prog.segments()[0].instrs.size(), 3u);
+    EXPECT_EQ(prog.dynamicInstrCount(0), 30u);
+}
+
+TEST(ProgramBuilder, ImplicitSegmentForStraightLineCode)
+{
+    ProgramBuilder b;
+    b.alu(2);
+    const WarpProgram prog = b.build();
+    ASSERT_EQ(prog.segments().size(), 1u);
+    EXPECT_EQ(prog.segments()[0].trips, 1u);
+}
+
+TEST(ProgramBuilder, DependentAluFormsChain)
+{
+    ProgramBuilder b;
+    b.alu(2, true);
+    const WarpProgram prog = b.build();
+    const auto& instrs = prog.segments()[0].instrs;
+    // Second ALU reads the first one's destination.
+    EXPECT_EQ(instrs[1].src0, instrs[0].dst);
+}
+
+TEST(ProgramBuilder, IndependentAluReadsConstants)
+{
+    ProgramBuilder b;
+    b.alu(2, false);
+    const WarpProgram prog = b.build();
+    const auto& instrs = prog.segments()[0].instrs;
+    EXPECT_EQ(instrs[1].src0, 0);
+    EXPECT_EQ(instrs[1].src1, 1);
+}
+
+TEST(ProgramBuilder, LoadDefinesStoreConsumes)
+{
+    ProgramBuilder b;
+    MemPattern p;
+    p.kind = AccessKind::Coalesced;
+    const auto id = b.pattern(p);
+    b.load(id).store(id);
+    const WarpProgram prog = b.build();
+    const auto& instrs = prog.segments()[0].instrs;
+    EXPECT_EQ(instrs[0].op, Opcode::LdGlobal);
+    EXPECT_NE(instrs[0].dst, kNoReg);
+    EXPECT_EQ(instrs[1].op, Opcode::StGlobal);
+    EXPECT_EQ(instrs[1].src0, instrs[0].dst);
+    EXPECT_EQ(instrs[1].dst, kNoReg);
+}
+
+TEST(ProgramBuilder, DivergeAppliesToSubsequentInstrs)
+{
+    ProgramBuilder b;
+    b.alu(1).diverge(8).alu(1).converge().alu(1);
+    const WarpProgram prog = b.build();
+    const auto& instrs = prog.segments()[0].instrs;
+    EXPECT_EQ(instrs[0].activeLanes, kWarpSize);
+    EXPECT_EQ(instrs[1].activeLanes, 8);
+    EXPECT_EQ(instrs[2].activeLanes, kWarpSize);
+}
+
+TEST(ProgramBuilder, RegisterWindowWraps)
+{
+    ProgramBuilder b(8); // regs 4..7 cycle
+    b.alu(20);
+    const WarpProgram prog = b.build();
+    EXPECT_LE(prog.regCount(), 8);
+}
+
+TEST(ProgramBuilder, BarrierEmitsBarOpcode)
+{
+    ProgramBuilder b;
+    b.loop(2).alu(1).barrier().endLoop();
+    const WarpProgram prog = b.build();
+    EXPECT_TRUE(prog.hasBarrier());
+}
+
+TEST(ProgramBuilder, SharedOpsUseSharedPattern)
+{
+    ProgramBuilder b;
+    MemPattern p;
+    p.kind = AccessKind::SharedBank;
+    p.space = MemSpace::Shared;
+    const auto id = b.pattern(p);
+    b.loadShared(id).storeShared(id);
+    const WarpProgram prog = b.build();
+    const auto& instrs = prog.segments()[0].instrs;
+    EXPECT_EQ(instrs[0].op, Opcode::LdShared);
+    EXPECT_EQ(instrs[1].op, Opcode::StShared);
+}
+
+TEST(ProgramBuilder, DoubleBuildDies)
+{
+    ProgramBuilder b;
+    b.alu(1);
+    (void)b.build();
+    EXPECT_DEATH(b.build(), "twice");
+}
+
+TEST(ProgramBuilder, EndLoopWithoutLoopDies)
+{
+    ProgramBuilder b;
+    EXPECT_DEATH(b.endLoop(), "endLoop");
+}
+
+TEST(ProgramBuilder, BadRegWindowDies)
+{
+    EXPECT_DEATH(ProgramBuilder(2), "reg window");
+    EXPECT_DEATH(ProgramBuilder(65), "reg window");
+}
+
+TEST(ProgramBuilder, BadDivergeDies)
+{
+    ProgramBuilder b;
+    EXPECT_DEATH(b.diverge(0), "lane");
+    EXPECT_DEATH(b.diverge(40), "lane");
+}
+
+} // namespace
+} // namespace bsched

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for TimedQueue and BandwidthThrottle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/queues.hh"
+
+namespace bsched {
+namespace {
+
+TEST(TimedQueue, ItemsBecomeVisibleAfterLatency)
+{
+    TimedQueue<int> q(5, 0);
+    q.push(10, 42);
+    EXPECT_FALSE(q.ready(10));
+    EXPECT_FALSE(q.ready(14));
+    EXPECT_TRUE(q.ready(15));
+    EXPECT_EQ(q.pop(15), 42);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(TimedQueue, ZeroLatencyIsImmediatelyReady)
+{
+    TimedQueue<int> q(0, 0);
+    q.push(3, 7);
+    EXPECT_TRUE(q.ready(3));
+    EXPECT_EQ(q.front(), 7);
+}
+
+TEST(TimedQueue, PreservesFifoOrder)
+{
+    TimedQueue<int> q(1, 0);
+    q.push(0, 1);
+    q.push(0, 2);
+    q.push(1, 3);
+    EXPECT_EQ(q.pop(5), 1);
+    EXPECT_EQ(q.pop(5), 2);
+    EXPECT_EQ(q.pop(5), 3);
+}
+
+TEST(TimedQueue, CapacityLimitsPush)
+{
+    TimedQueue<int> q(0, 2);
+    EXPECT_TRUE(q.canPush());
+    q.push(0, 1);
+    q.push(0, 2);
+    EXPECT_FALSE(q.canPush());
+    q.pop(0);
+    EXPECT_TRUE(q.canPush());
+}
+
+TEST(TimedQueue, UnboundedWhenCapacityZero)
+{
+    TimedQueue<int> q(0, 0);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(q.canPush());
+        q.push(0, i);
+    }
+    EXPECT_EQ(q.size(), 1000u);
+}
+
+TEST(TimedQueue, PopBeforeReadyDies)
+{
+    TimedQueue<int> q(10, 0);
+    q.push(0, 1);
+    EXPECT_DEATH(q.pop(5), "before ready");
+}
+
+TEST(TimedQueue, OverflowDies)
+{
+    TimedQueue<int> q(0, 1);
+    q.push(0, 1);
+    EXPECT_DEATH(q.push(0, 2), "overflow");
+}
+
+TEST(BandwidthThrottle, GrantsPerCycleBudget)
+{
+    BandwidthThrottle bw(2);
+    EXPECT_TRUE(bw.tryConsume(0));
+    EXPECT_TRUE(bw.tryConsume(0));
+    EXPECT_FALSE(bw.tryConsume(0));
+    EXPECT_TRUE(bw.tryConsume(1));
+}
+
+TEST(BandwidthThrottle, BudgetResetsEachCycle)
+{
+    BandwidthThrottle bw(1);
+    for (Cycle c = 0; c < 10; ++c) {
+        EXPECT_TRUE(bw.tryConsume(c));
+        EXPECT_FALSE(bw.tryConsume(c));
+    }
+}
+
+} // namespace
+} // namespace bsched

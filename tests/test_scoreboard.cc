@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Unit tests for the per-warp register scoreboard.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/scoreboard.hh"
+
+namespace bsched {
+namespace {
+
+Instr
+instrWith(std::int8_t dst, std::int8_t src0, std::int8_t src1 = kNoReg)
+{
+    Instr i;
+    i.op = Opcode::Alu;
+    i.dst = dst;
+    i.src0 = src0;
+    i.src1 = src1;
+    return i;
+}
+
+TEST(Scoreboard, FreshBoardIssuesAnything)
+{
+    Scoreboard sb;
+    EXPECT_TRUE(sb.canIssue(instrWith(5, 1, 2), 0));
+}
+
+TEST(Scoreboard, RawHazardBlocksConsumer)
+{
+    Scoreboard sb;
+    sb.setPending(5, 10);
+    EXPECT_FALSE(sb.canIssue(instrWith(6, 5), 9));
+    EXPECT_TRUE(sb.canIssue(instrWith(6, 5), 10));
+}
+
+TEST(Scoreboard, WawHazardBlocksRedefinition)
+{
+    Scoreboard sb;
+    sb.setPending(5, 100);
+    EXPECT_FALSE(sb.canIssue(instrWith(5, 0), 50));
+}
+
+TEST(Scoreboard, SecondSourceChecked)
+{
+    Scoreboard sb;
+    sb.setPending(7, 100);
+    EXPECT_FALSE(sb.canIssue(instrWith(8, 0, 7), 50));
+}
+
+TEST(Scoreboard, NoRegOperandsAlwaysReady)
+{
+    Scoreboard sb;
+    Instr bar;
+    bar.op = Opcode::Bar;
+    EXPECT_TRUE(sb.canIssue(bar, 0));
+}
+
+TEST(Scoreboard, LoadPendingUntilRelease)
+{
+    Scoreboard sb;
+    sb.setPendingUntilRelease(3);
+    EXPECT_FALSE(sb.canIssue(instrWith(4, 3), 1'000'000));
+    sb.release(3, 42);
+    EXPECT_TRUE(sb.canIssue(instrWith(4, 3), 42));
+}
+
+TEST(Scoreboard, ResetClearsEverything)
+{
+    Scoreboard sb;
+    sb.setPendingUntilRelease(3);
+    sb.setPending(4, 1000);
+    sb.reset();
+    EXPECT_EQ(sb.pendingCount(0), 0);
+    EXPECT_TRUE(sb.canIssue(instrWith(5, 3, 4), 0));
+}
+
+TEST(Scoreboard, PendingCountReflectsOutstanding)
+{
+    Scoreboard sb;
+    sb.setPending(1, 10);
+    sb.setPending(2, 20);
+    EXPECT_EQ(sb.pendingCount(5), 2);
+    EXPECT_EQ(sb.pendingCount(15), 1);
+    EXPECT_EQ(sb.pendingCount(20), 0);
+}
+
+} // namespace
+} // namespace bsched

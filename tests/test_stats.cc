@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for StatSet and the mean helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+namespace bsched {
+namespace {
+
+TEST(StatSet, AddAccumulates)
+{
+    StatSet s;
+    s.add("a.b", 1.0);
+    s.add("a.b", 2.5);
+    EXPECT_DOUBLE_EQ(s.get("a.b"), 3.5);
+}
+
+TEST(StatSet, SetOverwrites)
+{
+    StatSet s;
+    s.set("x", 1.0);
+    s.set("x", 9.0);
+    EXPECT_DOUBLE_EQ(s.get("x"), 9.0);
+}
+
+TEST(StatSet, MissingStatReadsZero)
+{
+    StatSet s;
+    EXPECT_FALSE(s.has("nope"));
+    EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
+}
+
+TEST(StatSet, RequireDiesOnMissing)
+{
+    StatSet s;
+    EXPECT_DEATH(s.require("absent"), "missing required stat");
+}
+
+TEST(StatSet, SumBySuffixAggregatesAcrossPrefixes)
+{
+    StatSet s;
+    s.set("core0.l1d.miss", 10);
+    s.set("core1.l1d.miss", 5);
+    s.set("core0.l1d.hit", 100);
+    EXPECT_DOUBLE_EQ(s.sumBySuffix(".l1d.miss"), 15.0);
+    EXPECT_DOUBLE_EQ(s.sumBySuffix(".l1d.hit"), 100.0);
+    EXPECT_DOUBLE_EQ(s.sumBySuffix(".absent"), 0.0);
+}
+
+TEST(StatSet, NamesBySuffixInOrder)
+{
+    StatSet s;
+    s.set("b.n_opt", 2);
+    s.set("a.n_opt", 1);
+    s.set("a.other", 3);
+    const auto names = s.namesBySuffix(".n_opt");
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "a.n_opt");
+    EXPECT_EQ(names[1], "b.n_opt");
+}
+
+TEST(StatSet, MergeAddsValues)
+{
+    StatSet a;
+    StatSet b;
+    a.set("x", 1);
+    b.set("x", 2);
+    b.set("y", 3);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.get("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.get("y"), 3.0);
+}
+
+TEST(Means, GeomeanOfIdenticalValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({2.0, 2.0, 2.0}), 2.0);
+}
+
+TEST(Means, GeomeanKnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+}
+
+TEST(Means, HarmonicMeanKnownValue)
+{
+    EXPECT_NEAR(harmonicMean({1.0, 2.0}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Means, DieOnEmptyOrNonPositive)
+{
+    EXPECT_DEATH(geomean({}), "empty");
+    EXPECT_DEATH(geomean({1.0, 0.0}), "positive");
+    EXPECT_DEATH(harmonicMean({-1.0}), "positive");
+}
+
+} // namespace
+} // namespace bsched

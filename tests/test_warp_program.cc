@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Unit tests for WarpProgram structure and the ProgramCursor loop walk.
+ */
+
+#include <gtest/gtest.h>
+
+#include "kernel/warp_program.hh"
+
+namespace bsched {
+namespace {
+
+Instr
+alu()
+{
+    Instr i;
+    i.op = Opcode::Alu;
+    i.dst = 4;
+    i.src0 = 0;
+    return i;
+}
+
+TEST(WarpProgram, RegCountTracksHighestRegister)
+{
+    WarpProgram prog;
+    Segment s;
+    Instr i = alu();
+    i.dst = 17;
+    s.instrs = {i};
+    s.trips = 1;
+    prog.addSegment(s);
+    EXPECT_EQ(prog.regCount(), 18);
+}
+
+TEST(WarpProgram, DynamicInstrCountMultipliesTrips)
+{
+    WarpProgram prog;
+    Segment s;
+    s.instrs = {alu(), alu(), alu()};
+    s.trips = 10;
+    prog.addSegment(s);
+    EXPECT_EQ(prog.dynamicInstrCount(0), 30u);
+}
+
+TEST(WarpProgram, TripJitterIsDeterministicAndBounded)
+{
+    WarpProgram prog;
+    Segment s;
+    s.instrs = {alu()};
+    s.trips = 100;
+    s.tripJitterPct = 20;
+    prog.addSegment(s);
+    for (std::uint32_t cta = 0; cta < 64; ++cta) {
+        const std::uint32_t t = prog.tripsFor(0, cta);
+        EXPECT_EQ(t, prog.tripsFor(0, cta));
+        EXPECT_GE(t, 80u);
+        EXPECT_LE(t, 120u);
+    }
+    // Jitter actually varies across CTAs.
+    bool varies = false;
+    for (std::uint32_t cta = 1; cta < 64 && !varies; ++cta)
+        varies = prog.tripsFor(0, cta) != prog.tripsFor(0, 0);
+    EXPECT_TRUE(varies);
+}
+
+TEST(ProgramCursor, WalksLoopStructure)
+{
+    WarpProgram prog;
+    Segment s;
+    s.instrs = {alu(), alu()};
+    s.trips = 3;
+    prog.addSegment(s);
+
+    ProgramCursor cur;
+    cur.init(prog, 0);
+    int steps = 0;
+    while (!cur.done(prog)) {
+        (void)cur.instr(prog);
+        cur.advance(prog, 0);
+        ++steps;
+    }
+    EXPECT_EQ(steps, 6);
+}
+
+TEST(ProgramCursor, IterKeyIsTripIndex)
+{
+    WarpProgram prog;
+    Segment s;
+    s.instrs = {alu(), alu()};
+    s.trips = 2;
+    prog.addSegment(s);
+
+    ProgramCursor cur;
+    cur.init(prog, 0);
+    EXPECT_EQ(cur.iterKey(), 0u);
+    cur.advance(prog, 0);
+    EXPECT_EQ(cur.iterKey(), 0u);
+    cur.advance(prog, 0);
+    EXPECT_EQ(cur.iterKey(), 1u);
+}
+
+TEST(ProgramCursor, SkipsZeroTripSegments)
+{
+    WarpProgram prog;
+    Segment zero;
+    zero.instrs = {alu()};
+    zero.trips = 0;
+    prog.addSegment(zero);
+    Segment s;
+    s.instrs = {alu()};
+    s.trips = 1;
+    prog.addSegment(s);
+
+    ProgramCursor cur;
+    cur.init(prog, 0);
+    EXPECT_EQ(cur.seg, 1u);
+    cur.advance(prog, 0);
+    EXPECT_TRUE(cur.done(prog));
+}
+
+TEST(ProgramCursor, AllZeroTripProgramIsBornDone)
+{
+    WarpProgram prog;
+    Segment zero;
+    zero.instrs = {alu()};
+    zero.trips = 0;
+    prog.addSegment(zero);
+    ProgramCursor cur;
+    cur.init(prog, 0);
+    EXPECT_TRUE(cur.done(prog));
+}
+
+TEST(WarpProgram, ValidateRejectsEmpty)
+{
+    WarpProgram prog;
+    EXPECT_DEATH(prog.validate(), "empty");
+}
+
+TEST(WarpProgram, ValidateRejectsBarrierWithJitter)
+{
+    WarpProgram prog;
+    Segment s;
+    Instr bar;
+    bar.op = Opcode::Bar;
+    s.instrs = {bar};
+    s.trips = 2;
+    s.tripJitterPct = 10;
+    prog.addSegment(s);
+    EXPECT_DEATH(prog.validate(), "jitter");
+}
+
+TEST(WarpProgram, ValidateRejectsBadPatternReference)
+{
+    WarpProgram prog;
+    Segment s;
+    Instr ld;
+    ld.op = Opcode::LdGlobal;
+    ld.dst = 4;
+    ld.patternId = 3; // no patterns registered
+    s.instrs = {ld};
+    prog.addSegment(s);
+    EXPECT_DEATH(prog.validate(), "pattern");
+}
+
+TEST(WarpProgram, ValidateRejectsSpaceMismatch)
+{
+    WarpProgram prog;
+    MemPattern shared;
+    shared.kind = AccessKind::SharedBank;
+    shared.space = MemSpace::Shared;
+    prog.addPattern(shared);
+    Segment s;
+    Instr ld;
+    ld.op = Opcode::LdGlobal; // global op, shared pattern
+    ld.dst = 4;
+    ld.patternId = 0;
+    s.instrs = {ld};
+    prog.addSegment(s);
+    EXPECT_DEATH(prog.validate(), "mismatch");
+}
+
+TEST(Opcode, Classification)
+{
+    EXPECT_TRUE(isMemory(Opcode::LdGlobal));
+    EXPECT_TRUE(isMemory(Opcode::StShared));
+    EXPECT_FALSE(isMemory(Opcode::Alu));
+    EXPECT_TRUE(isLoad(Opcode::LdShared));
+    EXPECT_FALSE(isLoad(Opcode::StGlobal));
+    EXPECT_TRUE(isStore(Opcode::StGlobal));
+    EXPECT_TRUE(isGlobalMemory(Opcode::StGlobal));
+    EXPECT_FALSE(isGlobalMemory(Opcode::LdShared));
+    EXPECT_STREQ(mnemonic(Opcode::Bar), "bar.sync");
+}
+
+} // namespace
+} // namespace bsched

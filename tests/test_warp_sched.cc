@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the warp scheduling policies (LRR, GTO, BAWS).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/warp_sched.hh"
+
+namespace bsched {
+namespace {
+
+/** Build a warp table: entry i has the given (ctaSeq, blockSeq). */
+std::vector<Warp>
+warpsWith(const std::vector<std::pair<std::uint64_t, std::uint64_t>>& meta)
+{
+    std::vector<Warp> warps(meta.size());
+    for (std::size_t i = 0; i < meta.size(); ++i) {
+        warps[i].valid = true;
+        warps[i].ctaSeq = meta[i].first;
+        warps[i].blockSeq = meta[i].second;
+        warps[i].warpInCta = static_cast<std::uint32_t>(i);
+    }
+    return warps;
+}
+
+TEST(LrrScheduler, RotatesThroughReadyWarps)
+{
+    LrrScheduler lrr;
+    const auto warps = warpsWith({{0, 0}, {0, 0}, {0, 0}});
+    const std::vector<int> ready = {0, 1, 2};
+    int w = lrr.pick(ready, warps);
+    EXPECT_EQ(w, 0);
+    lrr.notifyIssued(w, warps);
+    w = lrr.pick(ready, warps);
+    EXPECT_EQ(w, 1);
+    lrr.notifyIssued(w, warps);
+    w = lrr.pick(ready, warps);
+    EXPECT_EQ(w, 2);
+    lrr.notifyIssued(w, warps);
+    EXPECT_EQ(lrr.pick(ready, warps), 0); // wraps
+}
+
+TEST(LrrScheduler, SkipsUnreadyWarps)
+{
+    LrrScheduler lrr;
+    const auto warps = warpsWith({{0, 0}, {0, 0}, {0, 0}});
+    lrr.notifyIssued(0, warps);
+    EXPECT_EQ(lrr.pick({2}, warps), 2);
+}
+
+TEST(GtoScheduler, SticksWithGreedyWarp)
+{
+    GtoScheduler gto;
+    const auto warps = warpsWith({{0, 0}, {0, 0}, {1, 1}});
+    gto.notifyIssued(1, warps);
+    EXPECT_EQ(gto.pick({0, 1, 2}, warps), 1); // greedy
+}
+
+TEST(GtoScheduler, FallsBackToOldestCta)
+{
+    GtoScheduler gto;
+    // Warp 2 belongs to an older CTA than warps 0/1.
+    auto warps = warpsWith({{5, 0}, {5, 0}, {1, 1}});
+    gto.notifyIssued(0, warps);
+    // Greedy warp 0 not ready: oldest CTA wins.
+    EXPECT_EQ(gto.pick({1, 2}, warps), 2);
+}
+
+TEST(GtoScheduler, TieBreaksByWarpIndexWithinCta)
+{
+    GtoScheduler gto;
+    auto warps = warpsWith({{3, 0}, {3, 0}});
+    warps[0].warpInCta = 1;
+    warps[1].warpInCta = 0;
+    EXPECT_EQ(gto.pick({0, 1}, warps), 1);
+}
+
+TEST(BawsScheduler, SticksWithLastBlock)
+{
+    BawsScheduler baws;
+    // Warps 0,1 in block 7; warp 2 in older block 3.
+    const auto warps = warpsWith({{2, 7}, {2, 7}, {1, 3}});
+    baws.notifyIssued(0, warps);
+    // Block 7 still has ready warps: stay with it even though block 3
+    // is older.
+    EXPECT_EQ(baws.pick({1, 2}, warps), 1);
+}
+
+TEST(BawsScheduler, GreedyWithinSingleCtaBlock)
+{
+    // With only one CTA in the block, BAWS behaves like GTO: it sticks
+    // to the greedy warp while it stays ready.
+    BawsScheduler baws;
+    const auto warps = warpsWith({{0, 5}, {0, 5}, {0, 5}});
+    baws.notifyIssued(1, warps);
+    EXPECT_EQ(baws.pick({0, 1, 2}, warps), 1);
+    // When the greedy warp stalls, the oldest warp of the CTA wins.
+    EXPECT_EQ(baws.pick({0, 2}, warps), 0);
+}
+
+TEST(BawsScheduler, FallsBackToOldestBlock)
+{
+    BawsScheduler baws;
+    const auto warps = warpsWith({{0, 9}, {1, 4}, {2, 6}});
+    // No last block: oldest block (4) wins.
+    EXPECT_EQ(baws.pick({0, 1, 2}, warps), 1);
+}
+
+TEST(BawsScheduler, KeepsPairedCtasAtEvenProgress)
+{
+    BawsScheduler baws;
+    // Block 2 holds two CTAs (seq 10 and 11), each with 2 warps.
+    auto warps = warpsWith({{10, 2}, {10, 2}, {11, 2}, {11, 2}});
+    const std::vector<int> ready = {0, 1, 2, 3};
+    std::vector<int> issues(4, 0);
+    for (int i = 0; i < 20; ++i) {
+        const int w = baws.pick(ready, warps);
+        ASSERT_GE(w, 0);
+        ++issues[static_cast<std::size_t>(w)];
+        ++warps[static_cast<std::size_t>(w)].instrsIssued;
+        baws.notifyIssued(w, warps);
+    }
+    // Laggard-CTA-first keeps the pair balanced within one instruction.
+    const int cta_a = issues[0] + issues[1];
+    const int cta_b = issues[2] + issues[3];
+    EXPECT_LE(std::abs(cta_a - cta_b), 1);
+}
+
+TEST(TwoLevelScheduler, RoundRobinsWithinActiveSet)
+{
+    TwoLevelScheduler tl(2);
+    const auto warps = warpsWith({{0, 0}, {0, 0}, {0, 0}});
+    // Promote warps 0 and 1 into the active set.
+    tl.notifyIssued(0, warps);
+    tl.notifyIssued(1, warps);
+    // Both active and ready: RR between them, ignoring outsider 2.
+    EXPECT_EQ(tl.pick({0, 1, 2}, warps), 0);
+    tl.notifyIssued(0, warps);
+    EXPECT_EQ(tl.pick({0, 1, 2}, warps), 1);
+}
+
+TEST(TwoLevelScheduler, PromotesOutsiderWhenActiveSetStalls)
+{
+    TwoLevelScheduler tl(2);
+    const auto warps = warpsWith({{0, 0}, {0, 0}, {1, 1}});
+    tl.notifyIssued(0, warps);
+    tl.notifyIssued(1, warps);
+    // Active warps 0/1 not ready: outsider 2 is promoted and picked.
+    EXPECT_EQ(tl.pick({2}, warps), 2);
+    EXPECT_EQ(tl.activeSet().size(), 2u);
+}
+
+TEST(TwoLevelScheduler, EvictsOldestActiveOnPromotion)
+{
+    TwoLevelScheduler tl(1);
+    const auto warps = warpsWith({{0, 0}, {1, 1}});
+    tl.notifyIssued(0, warps);
+    EXPECT_EQ(tl.pick({1}, warps), 1); // promotes 1, evicts 0
+    ASSERT_EQ(tl.activeSet().size(), 1u);
+    EXPECT_EQ(tl.activeSet()[0], 1);
+}
+
+TEST(TwoLevelScheduler, DropsDeadWarpsFromActiveSet)
+{
+    TwoLevelScheduler tl(4);
+    auto warps = warpsWith({{0, 0}, {0, 0}});
+    tl.notifyIssued(0, warps);
+    tl.notifyIssued(1, warps);
+    warps[0].done = true; // warp retires
+    EXPECT_EQ(tl.pick({1}, warps), 1);
+    EXPECT_EQ(tl.activeSet().size(), 1u);
+}
+
+TEST(WarpSchedulerFactory, CreatesRequestedKind)
+{
+    EXPECT_NE(dynamic_cast<LrrScheduler*>(
+                  WarpScheduler::create(WarpSchedKind::LRR).get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<GtoScheduler*>(
+                  WarpScheduler::create(WarpSchedKind::GTO).get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<TwoLevelScheduler*>(
+                  WarpScheduler::create(WarpSchedKind::TwoLevel).get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<BawsScheduler*>(
+                  WarpScheduler::create(WarpSchedKind::BAWS).get()),
+              nullptr);
+}
+
+} // namespace
+} // namespace bsched

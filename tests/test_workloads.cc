@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Tests for the workload suite: every workload is well-formed, fits the
+ * machine, has the documented structure, and the registry is consistent.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "kernel/occupancy.hh"
+#include "workloads/suite.hh"
+
+namespace bsched {
+namespace {
+
+TEST(Workloads, SuiteHasFourteenDistinctKernels)
+{
+    const auto names = workloadNames();
+    EXPECT_EQ(names.size(), 14u);
+    const std::set<std::string> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), names.size());
+}
+
+TEST(Workloads, EveryWorkloadValidatesAndFits)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    for (const auto& name : workloadNames()) {
+        const KernelInfo k = makeWorkload(name);
+        k.validate(); // would fatal on malformed programs
+        EXPECT_GE(maxCtasPerCore(config, k), 1u) << name;
+        EXPECT_EQ(k.name, name);
+        EXPECT_GT(k.totalDynamicInstrs(), 0u) << name;
+    }
+}
+
+TEST(Workloads, ConstructionIsDeterministic)
+{
+    for (const auto& name : workloadNames()) {
+        const KernelInfo a = makeWorkload(name);
+        const KernelInfo b = makeWorkload(name);
+        EXPECT_EQ(a.totalDynamicInstrs(), b.totalDynamicInstrs()) << name;
+        EXPECT_EQ(a.grid, b.grid) << name;
+    }
+}
+
+TEST(Workloads, AddressRegionsAreDisjoint)
+{
+    // Each workload gets its own 1GiB slot: no global pattern base of
+    // one workload falls in another's region.
+    std::set<Addr> slots;
+    for (const auto& name : workloadNames()) {
+        const KernelInfo k = makeWorkload(name);
+        for (const MemPattern& p : k.program.patterns()) {
+            if (p.space == MemSpace::Global && p.base != 0)
+                slots.insert(p.base >> 30);
+        }
+    }
+    // At least half the suite uses distinct regions (some kernels are
+    // shared-memory only).
+    EXPECT_GE(slots.size(), 7u);
+}
+
+TEST(Workloads, UnknownNameDies)
+{
+    EXPECT_DEATH(makeWorkload("no-such-kernel"), "unknown workload");
+    EXPECT_DEATH(workloadNotes("no-such-kernel"), "unknown workload");
+}
+
+TEST(Workloads, LocalitySubsetIsInSuite)
+{
+    const auto names = workloadNames();
+    const std::set<std::string> all(names.begin(), names.end());
+    for (const auto& name : localityWorkloadNames()) {
+        EXPECT_TRUE(all.count(name)) << name;
+        // Locality workloads must contain a HaloRows pattern.
+        const KernelInfo k = makeWorkload(name);
+        bool has_halo = false;
+        for (const MemPattern& p : k.program.patterns())
+            has_halo |= p.kind == AccessKind::HaloRows;
+        EXPECT_TRUE(has_halo) << name;
+    }
+}
+
+TEST(Workloads, SuiteSpansAllThreeTypes)
+{
+    std::set<WorkloadType> types;
+    for (const KernelInfo& k : makeSuite())
+        types.insert(k.typeClass);
+    EXPECT_TRUE(types.count(WorkloadType::Saturating));
+    EXPECT_TRUE(types.count(WorkloadType::Increasing));
+    EXPECT_TRUE(types.count(WorkloadType::Peaked));
+}
+
+TEST(Workloads, SuiteSpansOccupancyLimiters)
+{
+    const GpuConfig config = GpuConfig::gtx480();
+    std::set<OccupancyLimiter> limiters;
+    for (const KernelInfo& k : makeSuite())
+        limiters.insert(occupancyLimiter(config, k));
+    EXPECT_GE(limiters.size(), 3u);
+}
+
+TEST(Workloads, NotesExistForEveryWorkload)
+{
+    for (const auto& name : workloadNames())
+        EXPECT_FALSE(workloadNotes(name).empty()) << name;
+}
+
+TEST(Workloads, BarrierKernelsHaveNoJitter)
+{
+    for (const KernelInfo& k : makeSuite()) {
+        if (!k.program.hasBarrier())
+            continue;
+        for (std::size_t s = 0; s < k.program.segments().size(); ++s)
+            EXPECT_EQ(k.program.segments()[s].tripJitterPct, 0u) << k.name;
+    }
+}
+
+} // namespace
+} // namespace bsched
