@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_baws.dir/fig_baws.cc.o"
+  "CMakeFiles/fig_baws.dir/fig_baws.cc.o.d"
+  "fig_baws"
+  "fig_baws.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_baws.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_bcs_speedup.dir/fig_bcs_speedup.cc.o"
+  "CMakeFiles/fig_bcs_speedup.dir/fig_bcs_speedup.cc.o.d"
+  "fig_bcs_speedup"
+  "fig_bcs_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_bcs_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

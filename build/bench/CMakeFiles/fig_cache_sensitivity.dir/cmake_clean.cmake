@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cache_sensitivity.dir/fig_cache_sensitivity.cc.o"
+  "CMakeFiles/fig_cache_sensitivity.dir/fig_cache_sensitivity.cc.o.d"
+  "fig_cache_sensitivity"
+  "fig_cache_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cache_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_combined.dir/fig_combined.cc.o"
+  "CMakeFiles/fig_combined.dir/fig_combined.cc.o.d"
+  "fig_combined"
+  "fig_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_cta_sensitivity.dir/fig_cta_sensitivity.cc.o"
+  "CMakeFiles/fig_cta_sensitivity.dir/fig_cta_sensitivity.cc.o.d"
+  "fig_cta_sensitivity"
+  "fig_cta_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_cta_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

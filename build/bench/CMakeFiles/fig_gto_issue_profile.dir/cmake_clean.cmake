@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_gto_issue_profile.dir/fig_gto_issue_profile.cc.o"
+  "CMakeFiles/fig_gto_issue_profile.dir/fig_gto_issue_profile.cc.o.d"
+  "fig_gto_issue_profile"
+  "fig_gto_issue_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_gto_issue_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

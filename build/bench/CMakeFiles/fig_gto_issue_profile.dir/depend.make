@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_gto_issue_profile.
+# This may be replaced when dependencies are built.

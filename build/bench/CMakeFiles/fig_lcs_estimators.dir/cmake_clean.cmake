@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lcs_estimators.dir/fig_lcs_estimators.cc.o"
+  "CMakeFiles/fig_lcs_estimators.dir/fig_lcs_estimators.cc.o.d"
+  "fig_lcs_estimators"
+  "fig_lcs_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lcs_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

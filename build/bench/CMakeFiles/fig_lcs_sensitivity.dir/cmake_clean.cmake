@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lcs_sensitivity.dir/fig_lcs_sensitivity.cc.o"
+  "CMakeFiles/fig_lcs_sensitivity.dir/fig_lcs_sensitivity.cc.o.d"
+  "fig_lcs_sensitivity"
+  "fig_lcs_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lcs_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lcs_speedup.dir/fig_lcs_speedup.cc.o"
+  "CMakeFiles/fig_lcs_speedup.dir/fig_lcs_speedup.cc.o.d"
+  "fig_lcs_speedup"
+  "fig_lcs_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lcs_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

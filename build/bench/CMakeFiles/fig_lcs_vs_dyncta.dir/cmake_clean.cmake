@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_lcs_vs_dyncta.dir/fig_lcs_vs_dyncta.cc.o"
+  "CMakeFiles/fig_lcs_vs_dyncta.dir/fig_lcs_vs_dyncta.cc.o.d"
+  "fig_lcs_vs_dyncta"
+  "fig_lcs_vs_dyncta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_lcs_vs_dyncta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_mixed_kernels.dir/fig_mixed_kernels.cc.o"
+  "CMakeFiles/fig_mixed_kernels.dir/fig_mixed_kernels.cc.o.d"
+  "fig_mixed_kernels"
+  "fig_mixed_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_mixed_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

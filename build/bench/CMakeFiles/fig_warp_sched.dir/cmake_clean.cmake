@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_warp_sched.dir/fig_warp_sched.cc.o"
+  "CMakeFiles/fig_warp_sched.dir/fig_warp_sched.cc.o.d"
+  "fig_warp_sched"
+  "fig_warp_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_warp_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_config.dir/tab_config.cc.o"
+  "CMakeFiles/tab_config.dir/tab_config.cc.o.d"
+  "tab_config"
+  "tab_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

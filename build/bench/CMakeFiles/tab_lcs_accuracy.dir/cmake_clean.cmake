@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_lcs_accuracy.dir/tab_lcs_accuracy.cc.o"
+  "CMakeFiles/tab_lcs_accuracy.dir/tab_lcs_accuracy.cc.o.d"
+  "tab_lcs_accuracy"
+  "tab_lcs_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_lcs_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

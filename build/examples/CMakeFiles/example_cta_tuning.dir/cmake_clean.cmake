@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cta_tuning.dir/cta_tuning.cpp.o"
+  "CMakeFiles/example_cta_tuning.dir/cta_tuning.cpp.o.d"
+  "example_cta_tuning"
+  "example_cta_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cta_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

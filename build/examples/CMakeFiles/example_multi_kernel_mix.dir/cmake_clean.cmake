@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multi_kernel_mix.dir/multi_kernel_mix.cpp.o"
+  "CMakeFiles/example_multi_kernel_mix.dir/multi_kernel_mix.cpp.o.d"
+  "example_multi_kernel_mix"
+  "example_multi_kernel_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multi_kernel_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

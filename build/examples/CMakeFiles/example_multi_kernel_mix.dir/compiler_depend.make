@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_multi_kernel_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_stencil_locality.dir/stencil_locality.cpp.o"
+  "CMakeFiles/example_stencil_locality.dir/stencil_locality.cpp.o.d"
+  "example_stencil_locality"
+  "example_stencil_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_stencil_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ldst_unit.cc" "src/CMakeFiles/bsched.dir/core/ldst_unit.cc.o" "gcc" "src/CMakeFiles/bsched.dir/core/ldst_unit.cc.o.d"
+  "/root/repo/src/core/simt_core.cc" "src/CMakeFiles/bsched.dir/core/simt_core.cc.o" "gcc" "src/CMakeFiles/bsched.dir/core/simt_core.cc.o.d"
+  "/root/repo/src/core/warp_sched.cc" "src/CMakeFiles/bsched.dir/core/warp_sched.cc.o" "gcc" "src/CMakeFiles/bsched.dir/core/warp_sched.cc.o.d"
+  "/root/repo/src/cta/block_cta_sched.cc" "src/CMakeFiles/bsched.dir/cta/block_cta_sched.cc.o" "gcc" "src/CMakeFiles/bsched.dir/cta/block_cta_sched.cc.o.d"
+  "/root/repo/src/cta/cta_sched.cc" "src/CMakeFiles/bsched.dir/cta/cta_sched.cc.o" "gcc" "src/CMakeFiles/bsched.dir/cta/cta_sched.cc.o.d"
+  "/root/repo/src/cta/dyncta_sched.cc" "src/CMakeFiles/bsched.dir/cta/dyncta_sched.cc.o" "gcc" "src/CMakeFiles/bsched.dir/cta/dyncta_sched.cc.o.d"
+  "/root/repo/src/cta/lazy_cta_sched.cc" "src/CMakeFiles/bsched.dir/cta/lazy_cta_sched.cc.o" "gcc" "src/CMakeFiles/bsched.dir/cta/lazy_cta_sched.cc.o.d"
+  "/root/repo/src/gpu/gpu.cc" "src/CMakeFiles/bsched.dir/gpu/gpu.cc.o" "gcc" "src/CMakeFiles/bsched.dir/gpu/gpu.cc.o.d"
+  "/root/repo/src/gpu/multi_kernel.cc" "src/CMakeFiles/bsched.dir/gpu/multi_kernel.cc.o" "gcc" "src/CMakeFiles/bsched.dir/gpu/multi_kernel.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "src/CMakeFiles/bsched.dir/harness/runner.cc.o" "gcc" "src/CMakeFiles/bsched.dir/harness/runner.cc.o.d"
+  "/root/repo/src/isa/opcode.cc" "src/CMakeFiles/bsched.dir/isa/opcode.cc.o" "gcc" "src/CMakeFiles/bsched.dir/isa/opcode.cc.o.d"
+  "/root/repo/src/kernel/kernel_info.cc" "src/CMakeFiles/bsched.dir/kernel/kernel_info.cc.o" "gcc" "src/CMakeFiles/bsched.dir/kernel/kernel_info.cc.o.d"
+  "/root/repo/src/kernel/mem_pattern.cc" "src/CMakeFiles/bsched.dir/kernel/mem_pattern.cc.o" "gcc" "src/CMakeFiles/bsched.dir/kernel/mem_pattern.cc.o.d"
+  "/root/repo/src/kernel/occupancy.cc" "src/CMakeFiles/bsched.dir/kernel/occupancy.cc.o" "gcc" "src/CMakeFiles/bsched.dir/kernel/occupancy.cc.o.d"
+  "/root/repo/src/kernel/program_builder.cc" "src/CMakeFiles/bsched.dir/kernel/program_builder.cc.o" "gcc" "src/CMakeFiles/bsched.dir/kernel/program_builder.cc.o.d"
+  "/root/repo/src/kernel/warp_program.cc" "src/CMakeFiles/bsched.dir/kernel/warp_program.cc.o" "gcc" "src/CMakeFiles/bsched.dir/kernel/warp_program.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/bsched.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/bsched.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/bsched.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/bsched.dir/mem/dram.cc.o.d"
+  "/root/repo/src/mem/interconnect.cc" "src/CMakeFiles/bsched.dir/mem/interconnect.cc.o" "gcc" "src/CMakeFiles/bsched.dir/mem/interconnect.cc.o.d"
+  "/root/repo/src/mem/mem_partition.cc" "src/CMakeFiles/bsched.dir/mem/mem_partition.cc.o" "gcc" "src/CMakeFiles/bsched.dir/mem/mem_partition.cc.o.d"
+  "/root/repo/src/mem/mshr.cc" "src/CMakeFiles/bsched.dir/mem/mshr.cc.o" "gcc" "src/CMakeFiles/bsched.dir/mem/mshr.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/bsched.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/bsched.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/log.cc" "src/CMakeFiles/bsched.dir/sim/log.cc.o" "gcc" "src/CMakeFiles/bsched.dir/sim/log.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/bsched.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/bsched.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/table.cc" "src/CMakeFiles/bsched.dir/sim/table.cc.o" "gcc" "src/CMakeFiles/bsched.dir/sim/table.cc.o.d"
+  "/root/repo/src/workloads/suite.cc" "src/CMakeFiles/bsched.dir/workloads/suite.cc.o" "gcc" "src/CMakeFiles/bsched.dir/workloads/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bcs.cc" "tests/CMakeFiles/bsched_tests.dir/test_bcs.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_bcs.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/bsched_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_config.cc" "tests/CMakeFiles/bsched_tests.dir/test_config.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_config.cc.o.d"
+  "/root/repo/tests/test_config_sweeps.cc" "tests/CMakeFiles/bsched_tests.dir/test_config_sweeps.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_config_sweeps.cc.o.d"
+  "/root/repo/tests/test_cta_sched.cc" "tests/CMakeFiles/bsched_tests.dir/test_cta_sched.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_cta_sched.cc.o.d"
+  "/root/repo/tests/test_dram.cc" "tests/CMakeFiles/bsched_tests.dir/test_dram.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_dram.cc.o.d"
+  "/root/repo/tests/test_dyncta.cc" "tests/CMakeFiles/bsched_tests.dir/test_dyncta.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_dyncta.cc.o.d"
+  "/root/repo/tests/test_edge_cases.cc" "tests/CMakeFiles/bsched_tests.dir/test_edge_cases.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_edge_cases.cc.o.d"
+  "/root/repo/tests/test_gpu.cc" "tests/CMakeFiles/bsched_tests.dir/test_gpu.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_gpu.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/bsched_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_interconnect.cc" "tests/CMakeFiles/bsched_tests.dir/test_interconnect.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_interconnect.cc.o.d"
+  "/root/repo/tests/test_lcs.cc" "tests/CMakeFiles/bsched_tests.dir/test_lcs.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_lcs.cc.o.d"
+  "/root/repo/tests/test_ldst_unit.cc" "tests/CMakeFiles/bsched_tests.dir/test_ldst_unit.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_ldst_unit.cc.o.d"
+  "/root/repo/tests/test_mem_partition.cc" "tests/CMakeFiles/bsched_tests.dir/test_mem_partition.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_mem_partition.cc.o.d"
+  "/root/repo/tests/test_mem_pattern.cc" "tests/CMakeFiles/bsched_tests.dir/test_mem_pattern.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_mem_pattern.cc.o.d"
+  "/root/repo/tests/test_mshr.cc" "tests/CMakeFiles/bsched_tests.dir/test_mshr.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_mshr.cc.o.d"
+  "/root/repo/tests/test_multi_kernel.cc" "tests/CMakeFiles/bsched_tests.dir/test_multi_kernel.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_multi_kernel.cc.o.d"
+  "/root/repo/tests/test_occupancy.cc" "tests/CMakeFiles/bsched_tests.dir/test_occupancy.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_occupancy.cc.o.d"
+  "/root/repo/tests/test_program_builder.cc" "tests/CMakeFiles/bsched_tests.dir/test_program_builder.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_program_builder.cc.o.d"
+  "/root/repo/tests/test_properties.cc" "tests/CMakeFiles/bsched_tests.dir/test_properties.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_properties.cc.o.d"
+  "/root/repo/tests/test_queues.cc" "tests/CMakeFiles/bsched_tests.dir/test_queues.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_queues.cc.o.d"
+  "/root/repo/tests/test_runner.cc" "tests/CMakeFiles/bsched_tests.dir/test_runner.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_runner.cc.o.d"
+  "/root/repo/tests/test_scoreboard.cc" "tests/CMakeFiles/bsched_tests.dir/test_scoreboard.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_scoreboard.cc.o.d"
+  "/root/repo/tests/test_simt_core.cc" "tests/CMakeFiles/bsched_tests.dir/test_simt_core.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_simt_core.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/bsched_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/bsched_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_warp_program.cc" "tests/CMakeFiles/bsched_tests.dir/test_warp_program.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_warp_program.cc.o.d"
+  "/root/repo/tests/test_warp_sched.cc" "tests/CMakeFiles/bsched_tests.dir/test_warp_sched.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_warp_sched.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/bsched_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/bsched_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bsched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
