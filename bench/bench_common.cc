@@ -1,0 +1,67 @@
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/log.hh"
+#include "workloads/suite.hh"
+
+namespace bsched::bench {
+
+unsigned
+parseJobs(int argc, char** argv)
+{
+    unsigned requested = 0;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const char* value = nullptr;
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("--jobs requires a value");
+            value = argv[++i];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
+            value = arg + 2;
+        } else {
+            fatal("unknown argument '", arg,
+                  "' (figures accept --jobs N / --jobs=N / -jN)");
+        }
+        const long parsed = std::strtol(value, nullptr, 10);
+        if (parsed <= 0)
+            fatal("--jobs expects a positive integer, got '", value, "'");
+        requested = static_cast<unsigned>(parsed);
+    }
+    return resolveJobs(requested);
+}
+
+GridResults
+runKernelGrid(const std::vector<KernelInfo>& kernels,
+              const std::vector<GpuConfig>& configs, unsigned jobs)
+{
+    std::vector<SimPoint> points;
+    points.reserve(kernels.size() * configs.size());
+    for (const KernelInfo& kernel : kernels) {
+        for (std::size_t c = 0; c < configs.size(); ++c) {
+            points.push_back({configs[c], kernel,
+                              kernel.name + "/cfg" + std::to_string(c)});
+        }
+    }
+    GridResults results;
+    results.numConfigs = configs.size();
+    results.flat = runGrid(points, jobs);
+    return results;
+}
+
+GridResults
+runWorkloadGrid(const std::vector<std::string>& names,
+                const std::vector<GpuConfig>& configs, unsigned jobs)
+{
+    std::vector<KernelInfo> kernels;
+    kernels.reserve(names.size());
+    for (const std::string& name : names)
+        kernels.push_back(makeWorkload(name));
+    return runKernelGrid(kernels, configs, jobs);
+}
+
+} // namespace bsched::bench

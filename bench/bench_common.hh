@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table binaries: the --jobs command
+ * line knob and the workload × config grid runner every sweep figure
+ * uses instead of hand-rolled serial loops.
+ *
+ * All figures accept `--jobs N` (also `--jobs=N` / `-jN`) or the
+ * BSCHED_JOBS environment variable; the default is the hardware
+ * concurrency. Per-point results are identical for every job count —
+ * only the wall-clock changes (see parallel_runner.hh).
+ */
+
+#ifndef BSCHED_BENCH_BENCH_COMMON_HH
+#define BSCHED_BENCH_BENCH_COMMON_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "harness/parallel_runner.hh"
+#include "harness/runner.hh"
+
+namespace bsched::bench {
+
+/**
+ * Parse the shared bench command line and return the resolved worker
+ * count. Recognizes "--jobs N", "--jobs=N" and "-jN"; anything else is
+ * fatal() so a typo doesn't silently fall back to a serial run.
+ */
+unsigned parseJobs(int argc, char** argv);
+
+/** Results of a workload × config sweep, workload-major. */
+struct GridResults
+{
+    std::size_t numConfigs = 0;
+    std::vector<RunResult> flat;
+
+    const RunResult& at(std::size_t workload, std::size_t config) const
+    {
+        return flat.at(workload * numConfigs + config);
+    }
+};
+
+/**
+ * The shared grid runner: simulate every (workload, config) pair, fanned
+ * out across @p jobs workers (0 = resolveJobs() default).
+ */
+GridResults runWorkloadGrid(const std::vector<std::string>& names,
+                            const std::vector<GpuConfig>& configs,
+                            unsigned jobs = 0);
+
+/** As runWorkloadGrid, over prebuilt kernels instead of suite names. */
+GridResults runKernelGrid(const std::vector<KernelInfo>& kernels,
+                          const std::vector<GpuConfig>& configs,
+                          unsigned jobs = 0);
+
+} // namespace bsched::bench
+
+#endif // BSCHED_BENCH_BENCH_COMMON_HH

@@ -9,15 +9,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -34,23 +36,31 @@ main()
         {"bcs4+baws", WarpSchedKind::BAWS, 4},
     };
 
-    std::printf("E10: BAWS on top of BCS (speedup over RR+GTO baseline)\n\n");
+    std::printf("E10: BAWS on top of BCS (speedup over RR+GTO baseline; "
+                "%u jobs)\n\n",
+                jobs);
     Table table("speedup by variant");
     std::vector<std::string> header = {"workload"};
     for (const auto& v : variants)
         header.push_back(v.label);
     table.setHeader(header);
 
+    // Config 0 is the baseline; 1..N the variants.
+    std::vector<GpuConfig> configs = {base};
+    for (const Variant& v : variants) {
+        GpuConfig cfg = makeConfig(v.warp, CtaSchedKind::Block);
+        cfg.bcs.blockSize = v.block;
+        configs.push_back(cfg);
+    }
+
     std::vector<std::vector<double>> speedups(variants.size());
-    for (const auto& name : localityWorkloadNames()) {
-        const KernelInfo kernel = makeWorkload(name);
-        const double base_ipc = runKernel(base, kernel).ipc;
-        std::vector<std::string> row = {name};
+    const auto names = localityWorkloadNames();
+    const auto grid = bench::runWorkloadGrid(names, configs, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const double base_ipc = grid.at(w, 0).ipc;
+        std::vector<std::string> row = {names[w]};
         for (std::size_t v = 0; v < variants.size(); ++v) {
-            GpuConfig cfg = makeConfig(variants[v].warp,
-                                       CtaSchedKind::Block);
-            cfg.bcs.blockSize = variants[v].block;
-            const double s = runKernel(cfg, kernel).ipc / base_ipc;
+            const double s = grid.at(w, v + 1).ipc / base_ipc;
             speedups[v].push_back(s);
             row.push_back(fmt(s, 3));
         }

@@ -9,32 +9,36 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig bcs = makeConfig(WarpSchedKind::GTO,
                                      CtaSchedKind::Block);
 
     std::printf("E9: BCS (block size 2, GTO warps) on the locality "
-                "subset\n\n");
+                "subset (%u jobs)\n\n",
+                jobs);
     Table table("BCS vs baseline");
     table.setHeader({"workload", "base-IPC", "bcs-IPC", "speedup",
                      "base-L1miss%", "bcs-L1miss%"});
     std::vector<double> speedups;
-    for (const auto& name : localityWorkloadNames()) {
-        const KernelInfo kernel = makeWorkload(name);
-        const RunResult a = runKernel(base, kernel);
-        const RunResult b = runKernel(bcs, kernel);
+    const auto names = localityWorkloadNames();
+    const auto grid = bench::runWorkloadGrid(names, {base, bcs}, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const RunResult& a = grid.at(w, 0);
+        const RunResult& b = grid.at(w, 1);
         speedups.push_back(b.ipc / a.ipc);
-        table.addRow({name, fmt(a.ipc, 2), fmt(b.ipc, 2),
+        table.addRow({names[w], fmt(a.ipc, 2), fmt(b.ipc, 2),
                       fmt(b.ipc / a.ipc, 3), fmt(100 * a.l1MissRate(), 1),
                       fmt(100 * b.l1MissRate(), 1)});
     }
@@ -45,12 +49,15 @@ main()
     Table control("control (no inter-CTA locality)");
     control.setHeader({"workload", "speedup"});
     std::vector<double> control_speedups;
-    for (const std::string name : {"bp", "gemm", "kmeans", "nn"}) {
-        const KernelInfo kernel = makeWorkload(name);
+    const std::vector<std::string> control_names = {"bp", "gemm", "kmeans",
+                                                    "nn"};
+    const auto control_grid =
+        bench::runWorkloadGrid(control_names, {base, bcs}, jobs);
+    for (std::size_t w = 0; w < control_names.size(); ++w) {
         const double s =
-            runKernel(bcs, kernel).ipc / runKernel(base, kernel).ipc;
+            control_grid.at(w, 1).ipc / control_grid.at(w, 0).ipc;
         control_speedups.push_back(s);
-        control.addRow({name, fmt(s, 3)});
+        control.addRow({control_names[w], fmt(s, 3)});
     }
     control.addRow({"geomean", fmt(geomean(control_speedups), 3)});
     std::printf("%s", control.toText().c_str());

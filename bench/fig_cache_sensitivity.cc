@@ -9,37 +9,47 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const std::vector<std::uint32_t> sizes = {8, 16, 32, 64};
     const std::vector<std::string> names = {"kmeans", "sc", "gemm", "bp"};
 
     std::printf("E15: L1D capacity sensitivity (LCS speedup over "
-                "baseline at each size)\n\n");
+                "baseline at each size; %u jobs)\n\n",
+                jobs);
     Table table("LCS speedup by L1D size");
     std::vector<std::string> header = {"workload"};
     for (auto kb : sizes)
         header.push_back(std::to_string(kb) + "KB");
     table.setHeader(header);
 
-    for (const auto& name : names) {
-        const KernelInfo kernel = makeWorkload(name);
-        std::vector<std::string> row = {name};
-        for (std::uint32_t kb : sizes) {
-            GpuConfig base = makeConfig(WarpSchedKind::GTO,
-                                        CtaSchedKind::RoundRobin);
-            base.l1d.sizeBytes = kb * 1024;
-            GpuConfig lcs = base;
-            lcs.ctaSched = CtaSchedKind::Lazy;
-            const double s =
-                runKernel(lcs, kernel).ipc / runKernel(base, kernel).ipc;
-            row.push_back(fmt(s, 3));
+    // Config pairs (base, lcs) per L1D size, interleaved.
+    std::vector<GpuConfig> configs;
+    for (std::uint32_t kb : sizes) {
+        GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                    CtaSchedKind::RoundRobin);
+        base.l1d.sizeBytes = kb * 1024;
+        GpuConfig lcs = base;
+        lcs.ctaSched = CtaSchedKind::Lazy;
+        configs.push_back(base);
+        configs.push_back(lcs);
+    }
+
+    const auto grid = bench::runWorkloadGrid(names, configs, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            const double speedup =
+                grid.at(w, 2 * s + 1).ipc / grid.at(w, 2 * s).ipc;
+            row.push_back(fmt(speedup, 3));
         }
         table.addRow(row);
     }

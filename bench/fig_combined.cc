@@ -10,15 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -35,20 +37,27 @@ main()
     };
 
     std::printf("E12: combined mechanisms, whole suite (speedup over "
-                "RR+GTO baseline)\n\n");
+                "RR+GTO baseline; %u jobs)\n\n",
+                jobs);
     Table table("composition");
     table.setHeader({"workload", "type", "lcs", "bcs+baws",
                      "lcs+bcs+baws"});
     std::vector<std::vector<double>> speedups(variants.size());
 
-    for (const auto& name : workloadNames()) {
-        const KernelInfo kernel = makeWorkload(name);
-        const double base_ipc = runKernel(base, kernel).ipc;
-        std::vector<std::string> row = {name, toString(kernel.typeClass)};
+    // Config 0 is the baseline; 1..N the variants.
+    std::vector<GpuConfig> configs = {base};
+    for (const Variant& v : variants)
+        configs.push_back(makeConfig(v.warp, v.cta));
+
+    const auto names = workloadNames();
+    const auto grid = bench::runWorkloadGrid(names, configs, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const KernelInfo kernel = makeWorkload(names[w]);
+        const double base_ipc = grid.at(w, 0).ipc;
+        std::vector<std::string> row = {names[w],
+                                        toString(kernel.typeClass)};
         for (std::size_t v = 0; v < variants.size(); ++v) {
-            const GpuConfig cfg = makeConfig(variants[v].warp,
-                                             variants[v].cta);
-            const double s = runKernel(cfg, kernel).ipc / base_ipc;
+            const double s = grid.at(w, v + 1).ipc / base_ipc;
             speedups[v].push_back(s);
             row.push_back(fmt(s, 3));
         }

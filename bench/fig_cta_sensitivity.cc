@@ -12,20 +12,23 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "kernel/occupancy.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
     std::printf("E3: normalized IPC vs CTAs/core (GTO warp scheduler, "
-                "RR CTA scheduler)\n\n");
+                "RR CTA scheduler; %u jobs)\n\n",
+                jobs);
 
     Table table("IPC normalized to max-CTA baseline");
     table.setHeader({"workload", "type", "Nmax", "1", "2", "3", "4", "5",
@@ -34,7 +37,7 @@ main()
     for (const std::string& name : workloadNames()) {
         const KernelInfo kernel = makeWorkload(name);
         const std::uint32_t n_max = maxCtasPerCore(base, kernel);
-        const auto sweep = sweepCtaLimit(base, kernel, n_max);
+        const auto sweep = sweepCtaLimit(base, kernel, n_max, jobs);
         const double base_ipc = sweep.back().ipc;
 
         std::vector<std::string> row = {name, toString(kernel.typeClass),

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "gpu/gpu.hh"
 #include "harness/runner.hh"
 #include "sim/table.hh"
@@ -42,18 +43,32 @@ monitorSnapshot(const std::string& name, bsched::WarpSchedKind sched)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const std::vector<std::string> names = {"kmeans", "sc", "bp", "gemm"};
+    const std::vector<WarpSchedKind> scheds = {WarpSchedKind::GTO,
+                                               WarpSchedKind::LRR};
 
     std::printf("E4: per-CTA issue share on core 0 at the end of the "
-                "monitoring window\n(first CTA completion)\n\n");
+                "monitoring window\n(first CTA completion; %u jobs)\n\n",
+                jobs);
 
-    for (const auto& name : names) {
-        for (const WarpSchedKind sched :
-             {WarpSchedKind::GTO, WarpSchedKind::LRR}) {
-            auto counts = monitorSnapshot(name, sched);
+    // Each (workload, scheduler) snapshot steps its own Gpu — an
+    // independent simulation point for the generic fan-out.
+    const ParallelRunner runner(jobs);
+    const auto snapshots = runner.map<std::vector<std::uint64_t>>(
+        names.size() * scheds.size(), [&](std::size_t i) {
+            return monitorSnapshot(names[i / scheds.size()],
+                                   scheds[i % scheds.size()]);
+        });
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const auto& name = names[w];
+        for (std::size_t s = 0; s < scheds.size(); ++s) {
+            const WarpSchedKind sched = scheds[s];
+            auto counts = snapshots[w * scheds.size() + s];
             std::sort(counts.rbegin(), counts.rend());
             std::uint64_t total = 0;
             for (auto c : counts)

@@ -10,40 +10,49 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
-    std::printf("E14: LCS estimator ablation (speedup over baseline)\n\n");
+    // Config 0 is the baseline; 1..3 the estimator variants.
+    std::vector<GpuConfig> configs = {base};
+    for (const auto& [est, pct] :
+         std::vector<std::pair<LcsEstimator, std::uint32_t>>{
+             {LcsEstimator::IssueRatio, 0},
+             {LcsEstimator::Threshold, 40},
+             {LcsEstimator::Threshold, 60}}) {
+        GpuConfig cfg = makeConfig(WarpSchedKind::GTO, CtaSchedKind::Lazy);
+        cfg.lcs.estimator = est;
+        if (pct)
+            cfg.lcs.thresholdPct = pct;
+        configs.push_back(cfg);
+    }
+
+    std::printf("E14: LCS estimator ablation (speedup over baseline; "
+                "%u jobs)\n\n",
+                jobs);
     Table table("issue-ratio vs threshold estimator");
     table.setHeader({"workload", "issue-ratio", "threshold-40",
                      "threshold-60"});
     std::vector<std::vector<double>> speedups(3);
-    for (const auto& name : workloadNames()) {
-        const KernelInfo kernel = makeWorkload(name);
-        const double base_ipc = runKernel(base, kernel).ipc;
-        std::vector<std::string> row = {name};
-        int col = 0;
-        for (const auto& [est, pct] :
-             std::vector<std::pair<LcsEstimator, std::uint32_t>>{
-                 {LcsEstimator::IssueRatio, 0},
-                 {LcsEstimator::Threshold, 40},
-                 {LcsEstimator::Threshold, 60}}) {
-            GpuConfig cfg = makeConfig(WarpSchedKind::GTO,
-                                       CtaSchedKind::Lazy);
-            cfg.lcs.estimator = est;
-            if (pct)
-                cfg.lcs.thresholdPct = pct;
-            const double s = runKernel(cfg, kernel).ipc / base_ipc;
-            speedups[static_cast<std::size_t>(col++)].push_back(s);
+    const auto names = workloadNames();
+    const auto grid = bench::runWorkloadGrid(names, configs, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const double base_ipc = grid.at(w, 0).ipc;
+        std::vector<std::string> row = {names[w]};
+        for (std::size_t v = 0; v < 3; ++v) {
+            const double s = grid.at(w, v + 1).ipc / base_ipc;
+            speedups[v].push_back(s);
             row.push_back(fmt(s, 3));
         }
         table.addRow(row);

@@ -10,15 +10,17 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -37,13 +39,17 @@ main()
     };
 
     std::printf("E8: LCS monitoring-window sensitivity (speedup over "
-                "max-CTA baseline)\n\n");
+                "max-CTA baseline; %u jobs)\n\n",
+                jobs);
 
-    // Baselines once per workload.
-    std::vector<double> base_ipc;
-    const auto names = workloadNames();
-    for (const auto& name : names)
-        base_ipc.push_back(runKernel(base, makeWorkload(name)).ipc);
+    // Config 0 is the baseline; 1..N the window modes.
+    std::vector<GpuConfig> configs = {base};
+    for (const Mode& mode : modes) {
+        GpuConfig cfg = makeConfig(WarpSchedKind::GTO, CtaSchedKind::Lazy);
+        cfg.lcs.windowMode = mode.mode;
+        cfg.lcs.fixedWindowCycles = mode.window;
+        configs.push_back(cfg);
+    }
 
     Table table("speedup by monitoring window");
     std::vector<std::string> header = {"workload"};
@@ -51,18 +57,15 @@ main()
         header.push_back(mode.label);
     table.setHeader(header);
 
+    const auto names = workloadNames();
+    const auto grid = bench::runWorkloadGrid(names, configs, jobs);
     std::vector<std::vector<double>> speedups(
         modes.size(), std::vector<double>());
-    std::vector<std::vector<std::string>> rows;
     for (std::size_t w = 0; w < names.size(); ++w) {
+        const double base_ipc = grid.at(w, 0).ipc;
         std::vector<std::string> row = {names[w]};
         for (std::size_t m = 0; m < modes.size(); ++m) {
-            GpuConfig cfg = makeConfig(WarpSchedKind::GTO,
-                                       CtaSchedKind::Lazy);
-            cfg.lcs.windowMode = modes[m].mode;
-            cfg.lcs.fixedWindowCycles = modes[m].window;
-            const double s =
-                runKernel(cfg, makeWorkload(names[w])).ipc / base_ipc[w];
+            const double s = grid.at(w, m + 1).ipc / base_ipc;
             speedups[m].push_back(s);
             row.push_back(fmt(s, 3));
         }

@@ -9,22 +9,25 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
                                      CtaSchedKind::Lazy);
 
     std::printf("E6: LCS speedup over max-CTA baseline vs the static "
-                "oracle\n(GTO warp scheduler everywhere)\n\n");
+                "oracle\n(GTO warp scheduler everywhere; %u jobs)\n\n",
+                jobs);
 
     Table table("speedup over baseline");
     table.setHeader({"workload", "type", "base-IPC", "LCS", "oracle",
@@ -33,11 +36,14 @@ main()
     std::vector<double> oracle_speedups;
     std::vector<std::pair<std::string, double>> bars;
 
-    for (const auto& name : workloadNames()) {
+    const auto names = workloadNames();
+    const auto grid = bench::runWorkloadGrid(names, {base, lcs}, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string& name = names[w];
         const KernelInfo kernel = makeWorkload(name);
-        const RunResult baseline = runKernel(base, kernel);
-        const RunResult lazy = runKernel(lcs, kernel);
-        const OracleResult oracle = oracleStaticBest(base, kernel);
+        const RunResult& baseline = grid.at(w, 0);
+        const RunResult& lazy = grid.at(w, 1);
+        const OracleResult oracle = oracleStaticBest(base, kernel, jobs);
         const double s_lcs = lazy.ipc / baseline.ipc;
         const double s_oracle =
             oracle.byLimit[oracle.bestLimit - 1].ipc / baseline.ipc;

@@ -10,15 +10,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
@@ -27,19 +29,22 @@ main()
                                      CtaSchedKind::Dynamic);
 
     std::printf("E13: LCS vs DYNCTA-style controller (speedup over "
-                "max-CTA baseline)\n\n");
+                "max-CTA baseline; %u jobs)\n\n",
+                jobs);
     Table table("one-shot vs iterative CTA throttling");
     table.setHeader({"workload", "type", "lcs", "dyncta"});
     std::vector<double> s_lcs;
     std::vector<double> s_dyn;
-    for (const auto& name : workloadNames()) {
-        const KernelInfo kernel = makeWorkload(name);
-        const double base_ipc = runKernel(base, kernel).ipc;
-        const double a = runKernel(lcs, kernel).ipc / base_ipc;
-        const double b = runKernel(dyn, kernel).ipc / base_ipc;
+    const auto names = workloadNames();
+    const auto grid = bench::runWorkloadGrid(names, {base, lcs, dyn}, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const KernelInfo kernel = makeWorkload(names[w]);
+        const double base_ipc = grid.at(w, 0).ipc;
+        const double a = grid.at(w, 1).ipc / base_ipc;
+        const double b = grid.at(w, 2).ipc / base_ipc;
         s_lcs.push_back(a);
         s_dyn.push_back(b);
-        table.addRow({name, toString(kernel.typeClass), fmt(a, 3),
+        table.addRow({names[w], toString(kernel.typeClass), fmt(a, 3),
                       fmt(b, 3)});
     }
     table.addRow({"geomean", "", fmt(geomean(s_lcs), 3),

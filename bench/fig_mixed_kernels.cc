@@ -7,12 +7,14 @@
  * runtime speedup over sequential, STP and ANTT.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <tuple>
 #include <vector>
 
+#include "bench_common.hh"
 #include "gpu/multi_kernel.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
@@ -20,9 +22,10 @@
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig config = makeConfig(WarpSchedKind::GTO,
                                         CtaSchedKind::RoundRobin);
 
@@ -38,7 +41,8 @@ main()
 
     std::printf("E11: mixed concurrent kernel execution on kernel pairs\n"
                 "(speedup = sequential total cycles / policy total "
-                "cycles)\n\n");
+                "cycles; %u jobs)\n\n",
+                jobs);
     Table table("multi-kernel policies");
     table.setHeader({"pair", "fit", "seq-cycles", "spatial-speedup",
                      "mixed-speedup", "spatial-STP", "mixed-STP",
@@ -46,34 +50,51 @@ main()
     std::vector<double> spatial_speedups;
     std::vector<double> mixed_speedups;
 
-    // Isolated runtimes are policy-independent; compute each once.
-    std::map<std::string, Cycle> isolated;
-    auto isolated_of = [&](const std::string& name) {
-        auto it = isolated.find(name);
-        if (it != isolated.end())
-            return it->second;
-        const KernelInfo k = makeWorkload(name);
-        Gpu gpu(config);
-        const int id = gpu.launchKernel(k);
-        gpu.run();
-        return isolated[name] = gpu.kernelCycles(id);
-    };
+    const ParallelRunner runner(jobs);
 
+    // Isolated runtimes are policy-independent; compute each unique
+    // workload once, fanned out across the pool.
+    std::vector<std::string> uniq;
     for (const auto& [a, b, complementary] : pairs) {
-        const KernelInfo ka = makeWorkload(a);
-        const KernelInfo kb = makeWorkload(b);
-        const std::vector<const KernelInfo*> kernels = {&ka, &kb};
-        const std::vector<Cycle> iso = {isolated_of(a), isolated_of(b)};
+        (void)complementary;
+        for (const std::string& name : {a, b}) {
+            if (std::find(uniq.begin(), uniq.end(), name) == uniq.end())
+                uniq.push_back(name);
+        }
+    }
+    const auto iso_cycles =
+        runner.map<Cycle>(uniq.size(), [&](std::size_t i) {
+            const KernelInfo k = makeWorkload(uniq[i]);
+            Gpu gpu(config);
+            const int id = gpu.launchKernel(k);
+            gpu.run();
+            return gpu.kernelCycles(id);
+        });
+    std::map<std::string, Cycle> isolated;
+    for (std::size_t i = 0; i < uniq.size(); ++i)
+        isolated[uniq[i]] = iso_cycles[i];
 
-        const auto seq = runMultiKernel(config, kernels,
-                                        MultiKernelPolicy::Sequential,
-                                        {}, &iso);
-        const auto spa = runMultiKernel(config, kernels,
-                                        MultiKernelPolicy::Spatial,
-                                        {}, &iso);
-        const auto mix = runMultiKernel(config, kernels,
-                                        MultiKernelPolicy::Mixed,
-                                        {}, &iso);
+    // One independent point per (pair, policy); each owns its kernels.
+    const std::vector<MultiKernelPolicy> policies = {
+        MultiKernelPolicy::Sequential, MultiKernelPolicy::Spatial,
+        MultiKernelPolicy::Mixed};
+    const auto reports = runner.map<MultiKernelReport>(
+        pairs.size() * policies.size(), [&](std::size_t i) {
+            const auto& [a, b, complementary] = pairs[i / policies.size()];
+            (void)complementary;
+            const KernelInfo ka = makeWorkload(a);
+            const KernelInfo kb = makeWorkload(b);
+            const std::vector<const KernelInfo*> kernels = {&ka, &kb};
+            const std::vector<Cycle> iso = {isolated.at(a), isolated.at(b)};
+            return runMultiKernel(config, kernels,
+                                  policies[i % policies.size()], {}, &iso);
+        });
+
+    for (std::size_t p = 0; p < pairs.size(); ++p) {
+        const auto& [a, b, complementary] = pairs[p];
+        const MultiKernelReport& seq = reports[p * policies.size() + 0];
+        const MultiKernelReport& spa = reports[p * policies.size() + 1];
+        const MultiKernelReport& mix = reports[p * policies.size() + 2];
         const double s_spatial = static_cast<double>(seq.totalCycles) /
             static_cast<double>(spa.totalCycles);
         const double s_mixed = static_cast<double>(seq.totalCycles) /

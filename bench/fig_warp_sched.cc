@@ -8,15 +8,17 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig lrr = makeConfig(WarpSchedKind::LRR,
                                      CtaSchedKind::RoundRobin);
     const GpuConfig tl = makeConfig(WarpSchedKind::TwoLevel,
@@ -25,15 +27,18 @@ main()
                                      CtaSchedKind::RoundRobin);
 
     std::printf("E5: warp scheduler comparison (baseline RR CTA "
-                "scheduler, max CTAs)\n\n");
+                "scheduler, max CTAs; %u jobs)\n\n",
+                jobs);
     Table table("IPC by warp scheduler");
     table.setHeader({"workload", "LRR", "2LVL", "GTO", "GTO/LRR"});
     std::vector<double> ratios;
-    for (const auto& name : workloadNames()) {
-        const KernelInfo kernel = makeWorkload(name);
-        const RunResult a = runKernel(lrr, kernel);
-        const RunResult t = runKernel(tl, kernel);
-        const RunResult b = runKernel(gto, kernel);
+    const auto names = workloadNames();
+    const auto grid = bench::runWorkloadGrid(names, {lrr, tl, gto}, jobs);
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string& name = names[w];
+        const RunResult& a = grid.at(w, 0);
+        const RunResult& t = grid.at(w, 1);
+        const RunResult& b = grid.at(w, 2);
         ratios.push_back(b.ipc / a.ipc);
         table.addRow(name, {a.ipc, t.ipc, b.ipc, b.ipc / a.ipc});
     }

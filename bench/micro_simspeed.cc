@@ -4,14 +4,27 @@
  * simulated-cycles-per-second for a small kernel, cache and coalescer
  * throughput. Guards against performance regressions in the hot loops
  * that every experiment depends on.
+ *
+ * Before the microbenchmarks run, a harness self-check times the same
+ * multi-point sweep serially (--jobs 1) and with the requested worker
+ * count, verifies the per-point results are byte-identical, and reports
+ * points/sec for both. This is the quickest way to see what the
+ * parallel harness buys on a given machine.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
 #include "gpu/gpu.hh"
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
 #include "mem/cache.hh"
+#include "sim/log.hh"
 #include "workloads/suite.hh"
 
 namespace {
@@ -97,6 +110,95 @@ BM_WorkloadConstruction(benchmark::State& state)
 }
 BENCHMARK(BM_WorkloadConstruction)->Unit(benchmark::kMillisecond);
 
+/**
+ * Pull `--jobs N` / `--jobs=N` / `-jN` out of the command line (so the
+ * rest can go to benchmark::Initialize) and return the requested count,
+ * 0 if absent. Unlike bench::parseJobs this is lenient about unknown
+ * arguments — google-benchmark owns them here.
+ */
+unsigned
+extractJobsArg(int& argc, char** argv)
+{
+    unsigned requested = 0;
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+        const char* arg = argv[i];
+        const char* value = nullptr;
+        if (std::strcmp(arg, "--jobs") == 0 && i + 1 < argc)
+            value = argv[++i];
+        else if (std::strncmp(arg, "--jobs=", 7) == 0)
+            value = arg + 7;
+        else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0')
+            value = arg + 2;
+        if (value != nullptr) {
+            const long parsed = std::strtol(value, nullptr, 10);
+            if (parsed <= 0)
+                fatal("--jobs expects a positive integer, got '", value, "'");
+            requested = static_cast<unsigned>(parsed);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    argc = out;
+    return requested;
+}
+
+/**
+ * Time the same sweep serially and with @p jobs workers, check the
+ * per-point results match exactly, and report points/sec for both.
+ */
+void
+harnessSelfCheck(unsigned jobs)
+{
+    using Clock = std::chrono::steady_clock;
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = smallKernel();
+    const std::uint32_t limits = 8; // >= 8 independent simulation points
+
+    const auto t0 = Clock::now();
+    const auto serial = sweepCtaLimit(config, kernel, limits, 1);
+    const auto t1 = Clock::now();
+    const auto parallel = sweepCtaLimit(config, kernel, limits, jobs);
+    const auto t2 = Clock::now();
+
+    if (serial.size() != parallel.size())
+        fatal("harness self-check: point-count mismatch");
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        if (serial[i].cycles != parallel[i].cycles ||
+            serial[i].instrs != parallel[i].instrs ||
+            serial[i].ipc != parallel[i].ipc) {
+            fatal("harness self-check: point ", i,
+                  " differs between --jobs 1 and --jobs ", jobs,
+                  " (determinism violated)");
+        }
+    }
+
+    const auto secs = [](Clock::duration d) {
+        return std::chrono::duration<double>(d).count();
+    };
+    const double s_serial = secs(t1 - t0);
+    const double s_parallel = secs(t2 - t1);
+    std::printf("harness self-check: %u-point sweep, per-point results "
+                "identical\n",
+                limits);
+    std::printf("  --jobs 1:  %6.2f points/s (%.3fs)\n", limits / s_serial,
+                s_serial);
+    std::printf("  --jobs %-2u: %6.2f points/s (%.3fs), %.2fx\n", jobs,
+                limits / s_parallel, s_parallel, s_serial / s_parallel);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char** argv)
+{
+    const unsigned jobs = bsched::resolveJobs(extractJobsArg(argc, argv));
+    harnessSelfCheck(jobs);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

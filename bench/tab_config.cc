@@ -6,12 +6,16 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "sim/config.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    // No simulations here; parse anyway so every bench binary shares
+    // the same CLI (a stray --jobs is accepted, a typo is rejected).
+    (void)bench::parseJobs(argc, argv);
     const GpuConfig config = GpuConfig::gtx480();
     config.validate();
     std::printf("E1: simulated machine configuration (GTX480-class)\n\n%s",

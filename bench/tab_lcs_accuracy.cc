@@ -9,6 +9,7 @@
 #include <map>
 #include <string>
 
+#include "bench_common.hh"
 #include "harness/runner.hh"
 #include "gpu/gpu.hh"
 #include "sim/table.hh"
@@ -37,9 +38,10 @@ modeNopt(const bsched::StatSet& stats)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    const unsigned jobs = bench::parseJobs(argc, argv);
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
@@ -47,8 +49,8 @@ main()
 
     std::printf("E7: LCS-chosen CTA count vs the oracle's best static "
                 "limit\n(the applied cap is estimate + %u slack, clamped "
-                "to Nmax)\n\n",
-                lcs.lcs.slackCtas);
+                "to Nmax; %u jobs)\n\n",
+                lcs.lcs.slackCtas, jobs);
     Table table("N_opt accuracy");
     table.setHeader({"workload", "Nmax", "estimate", "applied-cap",
                      "oracle-N", "|est-oracle|", "LCS/oracle IPC"});
@@ -60,10 +62,25 @@ main()
     const std::vector<std::string> names = {"kmeans", "sc",  "srad",
                                             "pf",     "bfs", "lavamd",
                                             "bp",     "gemm"};
-    for (const auto& name : names) {
-        const KernelInfo kernel = makeWorkload(name);
-        const RunResult lazy = runKernel(lcs, kernel);
-        const OracleResult oracle = oracleStaticBest(base, kernel);
+
+    // Fan out per workload; each point runs its LCS simulation and the
+    // oracle's static sweep serially (jobs=1) so pools don't nest.
+    struct Point
+    {
+        RunResult lazy;
+        OracleResult oracle;
+    };
+    const ParallelRunner runner(jobs);
+    const auto points = runner.map<Point>(names.size(), [&](std::size_t i) {
+        const KernelInfo kernel = makeWorkload(names[i]);
+        return Point{runKernel(lcs, kernel),
+                     oracleStaticBest(base, kernel, 1)};
+    });
+
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const std::string& name = names[i];
+        const RunResult& lazy = points[i].lazy;
+        const OracleResult& oracle = points[i].oracle;
         const int cap = std::min(modeNopt(lazy.stats),
                                  static_cast<int>(oracle.maxLimit));
         const int estimate =

@@ -7,14 +7,18 @@
 
 #include <cstdio>
 
+#include "bench_common.hh"
 #include "kernel/occupancy.hh"
 #include "sim/table.hh"
 #include "workloads/suite.hh"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace bsched;
+    // No simulations here; parse anyway so every bench binary shares
+    // the same CLI (a stray --jobs is accepted, a typo is rejected).
+    (void)bench::parseJobs(argc, argv);
     const GpuConfig config = GpuConfig::gtx480();
 
     std::printf("E2: workload characteristics\n\n");

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
 #include "sim/table.hh"
@@ -38,7 +39,11 @@ main()
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
-    std::printf("Sweeping the static CTA limit (the oracle search)...\n\n");
+    // The limits are independent simulation points; the sweep fans out
+    // across resolveJobs() workers (BSCHED_JOBS to override).
+    std::printf("Sweeping the static CTA limit (the oracle search, "
+                "%u jobs)...\n\n",
+                resolveJobs());
     const OracleResult oracle = oracleStaticBest(base, kernel);
     Table table("IPC vs CTAs per core");
     table.setHeader({"CTAs/core", "IPC", "L1 miss %"});

@@ -292,7 +292,7 @@ SimtCore::completeCta(int hw_cta, Cycle now)
     resources_.release(cta.footprint);
     kernels_[cta.kernelId].completedCtaIssued.push_back(cta.issued);
     completed_.push_back(
-        {id_, cta.kernelId, cta.ctaId, cta.issued, now});
+        {id_, cta.kernelId, cta.ctaId, cta.issued, now, cta.kernel});
     ++ctasCompleted_;
     cta.valid = false;
 }

@@ -33,6 +33,8 @@ struct CtaDoneEvent
     std::uint32_t ctaId = 0;
     std::uint64_t issuedInstrs = 0; ///< instructions this CTA issued
     Cycle doneCycle = 0;
+    /** The completed CTA's kernel; LCS needs its occupancy cap. */
+    const KernelInfo* info = nullptr;
 };
 
 /** A streaming multiprocessor. */

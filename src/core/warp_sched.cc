@@ -208,7 +208,7 @@ BawsScheduler::pick(const std::vector<int>& ready,
     // Greedy at block granularity: stick with the last block if any of
     // its warps is ready.
     if (lastBlock_ != kNoBlock) {
-        int id = pickWithinBlock(lastBlock_, ready, warps);
+        const int id = pickWithinBlock(lastBlock_, ready, warps);
         if (id >= 0)
             return id;
     }
@@ -219,7 +219,15 @@ BawsScheduler::pick(const std::vector<int>& ready,
         if (warp.blockSeq < best_block)
             best_block = warp.blockSeq;
     }
-    return pickWithinBlock(best_block, ready, warps);
+    const int id = pickWithinBlock(best_block, ready, warps);
+    if (id >= 0)
+        return id;
+    // Returning -1 to the issue stage panics the core. Every ready warp
+    // belongs to some block, so best_block normally matches at least one
+    // candidate — but if every ready warp carries the kNoBlock sentinel
+    // (best_block stayed kNoBlock) or block bookkeeping ever disagrees,
+    // degrade to plain greedy-then-oldest instead of crashing.
+    return oldest(ready, warps);
 }
 
 void

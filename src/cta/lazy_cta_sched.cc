@@ -73,9 +73,16 @@ LazyCtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
     (void)now;
     if (config_.lcs.windowMode != LcsWindowMode::FirstCtaDone)
         return;
+    if (event.info == nullptr)
+        panic("lcs: CtaDoneEvent carries no kernel info");
     // The first completed CTA of a kernel on a core closes that core's
     // monitoring window; decide() is idempotent per (core, kernel).
-    decide(event.coreId, event.kernelId, config_.maxCtasPerCore,
+    // n_max must be the kernel's occupancy cap, not the raw hardware CTA
+    // slot count: a register/smem-limited kernel can never reach
+    // config_.maxCtasPerCore, and clamping against the larger bound would
+    // let estimate+slack settle above what the core can actually hold
+    // (matching closeExpiredWindows in FixedCycles mode).
+    decide(event.coreId, event.kernelId, staticCap(*event.info),
            *cores.at(event.coreId));
 }
 

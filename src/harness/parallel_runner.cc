@@ -1,0 +1,74 @@
+#include "harness/parallel_runner.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <type_traits>
+
+#include "harness/thread_pool.hh"
+
+namespace bsched {
+
+// The lock-free contract of the grid runner: a point must be able to own
+// private copies of its inputs. If GpuConfig or KernelInfo ever grow
+// reference semantics (shared caches, interned programs, global pools),
+// concurrent points would start aliasing state and the no-locking claim
+// below breaks — revisit ParallelRunner before removing these.
+static_assert(std::is_copy_constructible_v<GpuConfig>,
+              "grid points must own their GpuConfig copy");
+static_assert(std::is_copy_constructible_v<KernelInfo>,
+              "grid points must own their KernelInfo copy");
+
+unsigned
+resolveJobs(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char* env = std::getenv("BSCHED_JOBS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ParallelRunner::ParallelRunner(unsigned jobs)
+    : jobs_(resolveJobs(jobs))
+{}
+
+void
+ParallelRunner::forEachIndex(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) const
+{
+    if (n == 0)
+        return;
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+std::vector<RunResult>
+ParallelRunner::run(const std::vector<SimPoint>& points) const
+{
+    return map<RunResult>(points.size(), [&](std::size_t i) {
+        return runKernel(points[i].config, points[i].kernel);
+    });
+}
+
+std::vector<RunResult>
+runGrid(const std::vector<SimPoint>& points, unsigned jobs)
+{
+    return ParallelRunner(jobs).run(points);
+}
+
+} // namespace bsched

@@ -1,5 +1,6 @@
 #include "harness/runner.hh"
 
+#include "harness/parallel_runner.hh"
 #include "kernel/occupancy.hh"
 #include "workloads/suite.hh"
 
@@ -61,22 +62,25 @@ runWorkload(const GpuConfig& config, const std::string& name)
 
 std::vector<RunResult>
 sweepCtaLimit(GpuConfig config, const KernelInfo& kernel,
-              std::uint32_t limit_max)
+              std::uint32_t limit_max, unsigned jobs)
 {
-    std::vector<RunResult> results;
+    std::vector<SimPoint> points;
+    points.reserve(limit_max);
     for (std::uint32_t limit = 1; limit <= limit_max; ++limit) {
         config.staticCtaLimit = limit;
-        results.push_back(runKernel(config, kernel));
+        points.push_back({config, kernel,
+                          kernel.name + "/limit" + std::to_string(limit)});
     }
-    return results;
+    return runGrid(points, jobs);
 }
 
 OracleResult
-oracleStaticBest(const GpuConfig& config, const KernelInfo& kernel)
+oracleStaticBest(const GpuConfig& config, const KernelInfo& kernel,
+                 unsigned jobs)
 {
     OracleResult oracle;
     oracle.maxLimit = maxCtasPerCore(config, kernel);
-    oracle.byLimit = sweepCtaLimit(config, kernel, oracle.maxLimit);
+    oracle.byLimit = sweepCtaLimit(config, kernel, oracle.maxLimit, jobs);
     oracle.bestLimit = 1;
     for (std::uint32_t limit = 2; limit <= oracle.maxLimit; ++limit) {
         if (oracle.byLimit[limit - 1].ipc >

@@ -46,10 +46,14 @@ RunResult runWorkload(const GpuConfig& config, const std::string& name);
 /**
  * Run @p kernel once per static CTA limit in [1, limit_max], returning
  * results indexed by limit-1. Uses the baseline round-robin scheduler.
+ * The limits are independent simulation points and run across @p jobs
+ * worker threads (0 = resolveJobs() default; results are identical for
+ * any job count).
  */
 std::vector<RunResult> sweepCtaLimit(GpuConfig config,
                                      const KernelInfo& kernel,
-                                     std::uint32_t limit_max);
+                                     std::uint32_t limit_max,
+                                     unsigned jobs = 0);
 
 /** The static-best CTA limit for a kernel (the paper's oracle). */
 struct OracleResult
@@ -59,9 +63,13 @@ struct OracleResult
     std::vector<RunResult> byLimit; ///< index = limit - 1
 };
 
-/** Sweep limits up to the kernel's occupancy max and pick the best IPC. */
+/**
+ * Sweep limits up to the kernel's occupancy max and pick the best IPC.
+ * The sweep fans out across @p jobs worker threads (0 = default).
+ */
 OracleResult oracleStaticBest(const GpuConfig& config,
-                              const KernelInfo& kernel);
+                              const KernelInfo& kernel,
+                              unsigned jobs = 0);
 
 /** Convenience: a GTX480-class config with the given policies. */
 GpuConfig makeConfig(WarpSchedKind warp_sched, CtaSchedKind cta_sched);

@@ -1,0 +1,69 @@
+#include "harness/thread_pool.hh"
+
+#include <algorithm>
+
+namespace bsched {
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned count = std::max(1u, threads);
+    workers_.reserve(count);
+    for (unsigned t = 0; t < count; ++t)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    wait();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        tasks_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return tasks_.empty() && inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            taskReady_.wait(lock,
+                            [this] { return stop_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stop_ set and queue drained
+            task = std::move(tasks_.front());
+            tasks_.pop_front();
+            ++inFlight_;
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (tasks_.empty() && inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+} // namespace bsched

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A small fixed-size worker pool for the experiment harness. Tasks are
+ * executed FIFO; wait() blocks until every submitted task has finished,
+ * so a pool can be reused across fan-out rounds.
+ *
+ * This is harness-side infrastructure only: the simulator core itself is
+ * single-threaded and must never be handed to more than one worker (see
+ * parallel_runner.hh for the invariant that makes grid runs lock-free).
+ */
+
+#ifndef BSCHED_HARNESS_THREAD_POOL_HH
+#define BSCHED_HARNESS_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsched {
+
+/** Fixed-size FIFO worker pool. */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Drains the queue (via wait()) and joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /**
+     * Enqueue a task. Tasks must not throw: the harness reports errors
+     * through fatal()/panic(), which terminate the process.
+     */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has run to completion. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable taskReady_;
+    std::condition_variable allDone_;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<std::thread> workers_;
+    std::size_t inFlight_ = 0; ///< tasks currently executing
+    bool stop_ = false;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_HARNESS_THREAD_POOL_HH

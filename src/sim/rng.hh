@@ -53,11 +53,31 @@ class Rng
         return x * 0x2545f4914f6cdd1dULL;
     }
 
-    /** Uniform integer in [0, bound). bound must be > 0. */
+    /**
+     * Uniform integer in [0, bound). bound must be > 0.
+     *
+     * Lemire's multiply-shift with rejection (Lemire, "Fast Random
+     * Integer Generation in an Interval", 2019): map next() into
+     * [0, bound) via the high 64 bits of a 128-bit product, rejecting
+     * the sliver of low products that would over-represent the first
+     * 2^64 mod bound values. Unlike the modulo reduction this is exactly
+     * uniform, so property tests draw without bias.
+     */
     std::uint64_t
     nextBelow(std::uint64_t bound)
     {
-        return next() % bound;
+        unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto low = static_cast<std::uint64_t>(product);
+        if (low < bound) {
+            // 2^64 mod bound, computed without 128-bit division.
+            const std::uint64_t threshold = -bound % bound;
+            while (low < threshold) {
+                product = static_cast<unsigned __int128>(next()) * bound;
+                low = static_cast<std::uint64_t>(product);
+            }
+        }
+        return static_cast<std::uint64_t>(product >> 64);
     }
 
     /** Uniform double in [0, 1). */

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cta/lazy_cta_sched.hh"
+#include "kernel/occupancy.hh"
 #include "kernel/program_builder.hh"
 
 namespace bsched {
@@ -192,6 +193,34 @@ TEST(Lcs, FixedWindowModeDecidesOnSchedule)
     for (Cycle t = 150; t < 260; ++t)
         step(t, sched, kernels, cores);
     EXPECT_GE(sched.decidedLimit(0, 0), 1u);
+}
+
+TEST(Lcs, DecidedLimitRespectsOccupancyCap)
+{
+    // Regression: the FirstCtaDone window used to clamp N_opt against
+    // the raw hardware slot count (config.maxCtasPerCore) instead of
+    // the kernel's occupancy cap, so a smem-limited kernel could be
+    // "throttled" to more CTAs than can ever co-reside — i.e. not
+    // throttled at all (the FixedCycles window already used the cap).
+    GpuConfig config = cfg();
+    config.lcs.slackCtas = 4; // push estimate + slack past the cap
+    auto cores = makeCores(config);
+    KernelInfo k = kernel(40, 2000);
+    k.smemBytesPerCta = 20 * 1024; // 48KB smem per core -> 2 CTAs max
+    ASSERT_EQ(maxCtasPerCore(config, k), 2u);
+    std::vector<KernelInstance> kernels;
+    KernelInstance inst;
+    inst.info = &k;
+    inst.id = 0;
+    kernels.push_back(inst);
+    LazyCtaScheduler sched(config);
+    Cycle t = 0;
+    while (kernels[0].ctasDone == 0 && t < 2000000)
+        step(t++, sched, kernels, cores);
+    ASSERT_GT(kernels[0].ctasDone, 0u);
+    const std::uint32_t n = sched.decidedLimit(0, 0);
+    ASSERT_GE(n, 1u);
+    EXPECT_LE(n, maxCtasPerCore(config, k));
 }
 
 TEST(Lcs, PerKernelMonitorsAreIndependent)

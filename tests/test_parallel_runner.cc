@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the parallel experiment harness: the worker pool, the jobs
+ * knob, and the headline guarantee that a grid run produces the same
+ * per-point results for every job count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+
+#include "harness/parallel_runner.hh"
+#include "harness/runner.hh"
+#include "harness/thread_pool.hh"
+#include "kernel/program_builder.hh"
+
+namespace bsched {
+namespace {
+
+KernelInfo
+tinyKernel(const std::string& name, std::uint32_t grid, std::uint32_t trips)
+{
+    KernelInfo k;
+    k.name = name;
+    k.grid = {grid, 1, 1};
+    k.cta = {128, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = 0x1000000;
+    const auto t = b.pattern(in);
+    b.loop(trips).load(t).alu(2).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 200; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, AtLeastOneWorker)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<bool> ran{false};
+    pool.submit([&ran] { ran = true; });
+    pool.wait();
+    EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, ReusableAcrossWaitRounds)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.wait(); // empty wait is a no-op
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    pool.submit([&count] { ++count; });
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelRunner, ResolveJobsPrefersExplicitRequest)
+{
+    EXPECT_EQ(resolveJobs(3), 3u);
+    EXPECT_GE(resolveJobs(0), 1u); // hardware default, whatever it is
+}
+
+TEST(ParallelRunner, ResolveJobsReadsEnvironment)
+{
+    const char* saved = std::getenv("BSCHED_JOBS");
+    const std::string saved_value = saved ? saved : "";
+    ::setenv("BSCHED_JOBS", "5", 1);
+    EXPECT_EQ(resolveJobs(0), 5u);
+    EXPECT_EQ(resolveJobs(2), 2u); // explicit request still wins
+    ::setenv("BSCHED_JOBS", "garbage", 1);
+    EXPECT_GE(resolveJobs(0), 1u); // unparsable -> hardware default
+    if (saved)
+        ::setenv("BSCHED_JOBS", saved_value.c_str(), 1);
+    else
+        ::unsetenv("BSCHED_JOBS");
+}
+
+TEST(ParallelRunner, MapPreservesSubmissionOrder)
+{
+    const ParallelRunner runner(4);
+    const auto out = runner.map<std::size_t>(
+        257, [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelRunner, GridMatchesDirectRunKernel)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo k = tinyKernel("grid_a", 30, 8);
+    const std::vector<SimPoint> points = {{config, k, "a"}};
+    const auto grid = runGrid(points, 2);
+    const RunResult direct = runKernel(config, k);
+    ASSERT_EQ(grid.size(), 1u);
+    EXPECT_EQ(grid[0].cycles, direct.cycles);
+    EXPECT_EQ(grid[0].instrs, direct.instrs);
+    EXPECT_DOUBLE_EQ(grid[0].ipc, direct.ipc);
+}
+
+TEST(ParallelRunner, GridIsDeterministicAcrossJobCounts)
+{
+    // The headline guarantee: per-point results are byte-identical for
+    // any worker count; only wall-clock changes.
+    std::vector<SimPoint> points;
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+    GpuConfig lazy = base;
+    lazy.ctaSched = CtaSchedKind::Lazy;
+    for (std::uint32_t grid = 20; grid < 24; ++grid) {
+        const KernelInfo k =
+            tinyKernel("det" + std::to_string(grid), grid, 6 + grid % 3);
+        points.push_back({base, k, k.name + "/base"});
+        points.push_back({lazy, k, k.name + "/lcs"});
+    }
+    ASSERT_GE(points.size(), 8u);
+
+    const auto serial = runGrid(points, 1);
+    const auto parallel = runGrid(points, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles) << "point " << i;
+        EXPECT_EQ(serial[i].instrs, parallel[i].instrs) << "point " << i;
+        EXPECT_DOUBLE_EQ(serial[i].ipc, parallel[i].ipc) << "point " << i;
+        EXPECT_EQ(serial[i].stats.entries(), parallel[i].stats.entries())
+            << "point " << i;
+    }
+}
+
+TEST(ParallelRunner, SweepCtaLimitIdenticalUnderParallelism)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo k = tinyKernel("sweep", 24, 6);
+    const auto serial = sweepCtaLimit(config, k, 6, 1);
+    const auto parallel = sweepCtaLimit(config, k, 6, 3);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].cycles, parallel[i].cycles);
+        EXPECT_DOUBLE_EQ(serial[i].ipc, parallel[i].ipc);
+    }
+}
+
+} // namespace
+} // namespace bsched

@@ -107,6 +107,25 @@ TEST(BawsScheduler, FallsBackToOldestBlock)
     EXPECT_EQ(baws.pick({0, 1, 2}, warps), 1);
 }
 
+TEST(BawsScheduler, NeverReturnsNoPickForNonEmptyReadySet)
+{
+    // Regression: a -1 from pick() panics the issue stage. Saturated
+    // warpInCta bookkeeping makes pickWithinBlock find the block but no
+    // candidate warp; the guard must degrade to greedy-then-oldest
+    // instead of handing -1 back.
+    BawsScheduler baws;
+    std::vector<Warp> warps(2);
+    for (auto& w : warps) {
+        w.valid = true;
+        w.ctaSeq = 0;
+        w.blockSeq = 0;
+        w.warpInCta = ~0u;
+    }
+    const int picked = baws.pick({0, 1}, warps);
+    EXPECT_GE(picked, 0);
+    EXPECT_LE(picked, 1);
+}
+
 TEST(BawsScheduler, KeepsPairedCtasAtEvenProgress)
 {
     BawsScheduler baws;
