@@ -1,38 +1,126 @@
 #include "bench_common.hh"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
 
 namespace bsched::bench {
 
-unsigned
-parseJobs(int argc, char** argv)
+namespace {
+
+/** Sampler period used for --trace runs when --sample-every is unset. */
+constexpr Cycle kDefaultSamplePeriod = 512;
+
+long
+parsePositive(const char* flag, const char* value)
 {
+    char* end = nullptr;
+    const long parsed = std::strtol(value, &end, 10);
+    if (parsed <= 0 || end == value || *end != '\0')
+        fatal(flag, " expects a positive integer, got '", value, "'");
+    return parsed;
+}
+
+} // namespace
+
+BenchOptions
+parseArgs(int argc, char** argv)
+{
+    setLogLevelFromEnv();
+
+    BenchOptions opts;
     unsigned requested = 0;
     for (int i = 1; i < argc; ++i) {
         const char* arg = argv[i];
-        const char* value = nullptr;
-        if (std::strcmp(arg, "--jobs") == 0) {
+        auto next = [&](const char* flag) -> const char* {
             if (i + 1 >= argc)
-                fatal("--jobs requires a value");
-            value = argv[++i];
+                fatal(flag, " requires a value");
+            return argv[++i];
+        };
+        if (std::strcmp(arg, "--jobs") == 0) {
+            requested = static_cast<unsigned>(
+                parsePositive("--jobs", next("--jobs")));
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
-            value = arg + 7;
+            requested =
+                static_cast<unsigned>(parsePositive("--jobs", arg + 7));
         } else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0') {
-            value = arg + 2;
+            requested =
+                static_cast<unsigned>(parsePositive("-j", arg + 2));
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            opts.tracePath = next("--trace");
+        } else if (std::strncmp(arg, "--trace=", 8) == 0) {
+            opts.tracePath = arg + 8;
+        } else if (std::strcmp(arg, "--emit-json") == 0) {
+            opts.emitJsonPath = next("--emit-json");
+        } else if (std::strncmp(arg, "--emit-json=", 12) == 0) {
+            opts.emitJsonPath = arg + 12;
+        } else if (std::strcmp(arg, "--sample-every") == 0) {
+            opts.sampleEvery = static_cast<Cycle>(
+                parsePositive("--sample-every", next("--sample-every")));
+        } else if (std::strncmp(arg, "--sample-every=", 15) == 0) {
+            opts.sampleEvery = static_cast<Cycle>(
+                parsePositive("--sample-every", arg + 15));
+        } else if (std::strcmp(arg, "--log") == 0) {
+            setLogLevel(parseLogLevel(next("--log")));
+        } else if (std::strncmp(arg, "--log=", 6) == 0) {
+            setLogLevel(parseLogLevel(arg + 6));
         } else {
             fatal("unknown argument '", arg,
-                  "' (figures accept --jobs N / --jobs=N / -jN)");
+                  "' (figures accept --jobs N, --trace FILE, "
+                  "--emit-json FILE, --sample-every N, --log LEVEL)");
         }
-        const long parsed = std::strtol(value, nullptr, 10);
-        if (parsed <= 0)
-            fatal("--jobs expects a positive integer, got '", value, "'");
-        requested = static_cast<unsigned>(parsed);
     }
-    return resolveJobs(requested);
+    opts.jobs = resolveJobs(requested);
+    return opts;
+}
+
+unsigned
+parseJobs(int argc, char** argv)
+{
+    return parseArgs(argc, argv).jobs;
+}
+
+void
+writeReport(const BenchOptions& opts, const BenchReport& report)
+{
+    if (opts.emitJsonPath.empty())
+        return;
+    const std::size_t bytes =
+        writeFile(opts.emitJsonPath, [&](std::ostream& os) {
+            report.writeJson(os);
+        });
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n",
+                 opts.emitJsonPath.c_str(), bytes);
+}
+
+void
+writeTraceArtifact(const BenchOptions& opts, const GpuConfig& config,
+                   const KernelInfo& kernel, const std::string& label)
+{
+    if (opts.tracePath.empty())
+        return;
+    const Cycle period =
+        opts.sampleEvery > 0 ? opts.sampleEvery : kDefaultSamplePeriod;
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    IntervalSampler sampler(period);
+    runKernel(config, kernel, Observer{&tracer, &sampler});
+    const std::size_t bytes =
+        writeFile(opts.tracePath, [&](std::ostream& os) {
+            tracer.writeChromeTrace(os, &sampler);
+        });
+    std::fprintf(stderr, "wrote %s (%zu bytes, %s, %llu events",
+                 opts.tracePath.c_str(), bytes, label.c_str(),
+                 static_cast<unsigned long long>(tracer.recorded()));
+    if (tracer.dropped() > 0) {
+        std::fprintf(stderr, ", %llu dropped",
+                     static_cast<unsigned long long>(tracer.dropped()));
+    }
+    std::fprintf(stderr, ")\n");
 }
 
 GridResults

@@ -1,13 +1,15 @@
 /**
  * @file
- * Shared scaffolding for the figure/table binaries: the --jobs command
- * line knob and the workload × config grid runner every sweep figure
- * uses instead of hand-rolled serial loops.
+ * Shared scaffolding for the figure/table binaries: the common command
+ * line (--jobs, --trace, --emit-json, --sample-every, --log) and the
+ * workload × config grid runner every sweep figure uses instead of
+ * hand-rolled serial loops.
  *
  * All figures accept `--jobs N` (also `--jobs=N` / `-jN`) or the
  * BSCHED_JOBS environment variable; the default is the hardware
  * concurrency. Per-point results are identical for every job count —
- * only the wall-clock changes (see parallel_runner.hh).
+ * only the wall-clock changes (see parallel_runner.hh) — and the
+ * --emit-json artifact is byte-identical for any job count.
  */
 
 #ifndef BSCHED_BENCH_BENCH_COMMON_HH
@@ -19,15 +21,52 @@
 
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
+#include "obs/sink.hh"
 
 namespace bsched::bench {
 
+/** The shared figure/table command line, parsed by parseArgs(). */
+struct BenchOptions
+{
+    /** Resolved worker count (already passed through resolveJobs()). */
+    unsigned jobs = 0;
+
+    /** --trace FILE: write a Chrome trace of one representative run. */
+    std::string tracePath;
+
+    /** --emit-json FILE: write the figure's BenchReport as JSON. */
+    std::string emitJsonPath;
+
+    /** --sample-every N: interval-sampler period for the traced run. */
+    Cycle sampleEvery = 0;
+};
+
 /**
- * Parse the shared bench command line and return the resolved worker
- * count. Recognizes "--jobs N", "--jobs=N" and "-jN"; anything else is
- * fatal() so a typo doesn't silently fall back to a serial run.
+ * Parse the shared bench command line. Recognizes "--jobs N" /
+ * "--jobs=N" / "-jN", "--trace FILE", "--emit-json FILE",
+ * "--sample-every N" and "--log LEVEL" (also the BSCHED_LOG
+ * environment variable); anything else is fatal() so a typo doesn't
+ * silently fall back to defaults.
+ */
+BenchOptions parseArgs(int argc, char** argv);
+
+/**
+ * Back-compat wrapper: parse the shared command line and return only
+ * the resolved worker count.
  */
 unsigned parseJobs(int argc, char** argv);
+
+/** Write the report to opts.emitJsonPath when --emit-json was given. */
+void writeReport(const BenchOptions& opts, const BenchReport& report);
+
+/**
+ * Honour --trace: re-run one representative simulation point with a
+ * Tracer (and an IntervalSampler when --sample-every is set, or at a
+ * default period otherwise) attached, and write the Chrome trace JSON
+ * to opts.tracePath. No-op when --trace was not given.
+ */
+void writeTraceArtifact(const BenchOptions& opts, const GpuConfig& config,
+                        const KernelInfo& kernel, const std::string& label);
 
 /** Results of a workload × config sweep, workload-major. */
 struct GridResults

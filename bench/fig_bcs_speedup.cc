@@ -19,7 +19,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig bcs = makeConfig(WarpSchedKind::GTO,
@@ -31,6 +32,7 @@ main(int argc, char** argv)
     Table table("BCS vs baseline");
     table.setHeader({"workload", "base-IPC", "bcs-IPC", "speedup",
                      "base-L1miss%", "bcs-L1miss%"});
+    BenchReport report("fig_bcs_speedup");
     std::vector<double> speedups;
     const auto names = localityWorkloadNames();
     const auto grid = bench::runWorkloadGrid(names, {base, bcs}, jobs);
@@ -38,12 +40,16 @@ main(int argc, char** argv)
         const RunResult& a = grid.at(w, 0);
         const RunResult& b = grid.at(w, 1);
         speedups.push_back(b.ipc / a.ipc);
+        report.addRow(names[w] + "/base", a);
+        report.addRow(names[w] + "/bcs", b);
+        report.addMetric(names[w] + ".speedup_bcs", b.ipc / a.ipc);
         table.addRow({names[w], fmt(a.ipc, 2), fmt(b.ipc, 2),
                       fmt(b.ipc / a.ipc, 3), fmt(100 * a.l1MissRate(), 1),
                       fmt(100 * b.l1MissRate(), 1)});
     }
     table.addRow({"geomean", "", "", fmt(geomean(speedups), 3), "", ""});
     std::printf("%s\n", table.toText().c_str());
+    report.addMetric("geomean.speedup_bcs", geomean(speedups));
 
     // Control group: non-locality workloads should be unaffected.
     Table control("control (no inter-CTA locality)");
@@ -58,8 +64,14 @@ main(int argc, char** argv)
             control_grid.at(w, 1).ipc / control_grid.at(w, 0).ipc;
         control_speedups.push_back(s);
         control.addRow({control_names[w], fmt(s, 3)});
+        report.addMetric(control_names[w] + ".control_speedup", s);
     }
     control.addRow({"geomean", fmt(geomean(control_speedups), 3)});
     std::printf("%s", control.toText().c_str());
+    report.addMetric("geomean.control_speedup",
+                     geomean(control_speedups));
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, bcs, makeWorkload("hs"), "hs/bcs");
     return 0;
 }

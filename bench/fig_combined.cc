@@ -20,7 +20,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -49,23 +50,33 @@ main(int argc, char** argv)
     for (const Variant& v : variants)
         configs.push_back(makeConfig(v.warp, v.cta));
 
+    BenchReport report("fig_combined");
     const auto names = workloadNames();
     const auto grid = bench::runWorkloadGrid(names, configs, jobs);
     for (std::size_t w = 0; w < names.size(); ++w) {
         const KernelInfo kernel = makeWorkload(names[w]);
         const double base_ipc = grid.at(w, 0).ipc;
+        report.addRow(names[w] + "/base", grid.at(w, 0));
         std::vector<std::string> row = {names[w],
                                         toString(kernel.typeClass)};
         for (std::size_t v = 0; v < variants.size(); ++v) {
             const double s = grid.at(w, v + 1).ipc / base_ipc;
             speedups[v].push_back(s);
             row.push_back(fmt(s, 3));
+            report.addRow(names[w] + "/" + variants[v].label,
+                          grid.at(w, v + 1));
+            report.addMetric(names[w] + ".speedup_" + variants[v].label,
+                             s);
         }
         table.addRow(row);
     }
     std::vector<std::string> last = {"geomean", ""};
-    for (auto& s : speedups)
-        last.push_back(fmt(geomean(s), 3));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        last.push_back(fmt(geomean(speedups[v]), 3));
+        report.addMetric(std::string("geomean.speedup_") +
+                             variants[v].label,
+                         geomean(speedups[v]));
+    }
     table.addRow(last);
     std::printf("%s\n", table.toText().c_str());
     std::printf("Reading: LCS carries the peaked (type-3) set, BCS+BAWS "
@@ -74,5 +85,9 @@ main(int argc, char** argv)
                 "and BAWS's intra-block fairness weakens the greedy\n"
                 "issue skew LCS monitors, so the composition is not "
                 "strictly additive.\n");
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, configs[3], makeWorkload("srad"),
+                              "srad/lcs+bcs+baws");
     return 0;
 }

@@ -22,7 +22,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -34,6 +35,7 @@ main(int argc, char** argv)
     table.setHeader({"workload", "type", "Nmax", "1", "2", "3", "4", "5",
                      "6", "7", "8", "best-N"});
 
+    BenchReport report("fig_cta_sensitivity");
     for (const std::string& name : workloadNames()) {
         const KernelInfo kernel = makeWorkload(name);
         const std::uint32_t n_max = maxCtasPerCore(base, kernel);
@@ -54,9 +56,17 @@ main(int argc, char** argv)
         }
         row.push_back(std::to_string(best));
         table.addRow(row);
+        for (std::uint32_t n = 1; n <= n_max; ++n)
+            report.addRow(name + "/n" + std::to_string(n), sweep[n - 1]);
+        report.addMetric(name + ".n_max", n_max);
+        report.addMetric(name + ".best_n", best);
     }
     std::printf("%s\n", table.toText().c_str());
     std::printf("Reading: type-1 rows flatten early, type-2 rows rise to "
                 "Nmax,\ntype-3 rows peak below Nmax and then decline.\n");
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, base, makeWorkload("kmeans"),
+                              "kmeans/base");
     return 0;
 }

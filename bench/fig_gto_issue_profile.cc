@@ -46,7 +46,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const std::vector<std::string> names = {"kmeans", "sc", "bp", "gemm"};
     const std::vector<WarpSchedKind> scheds = {WarpSchedKind::GTO,
                                                WarpSchedKind::LRR};
@@ -64,6 +65,7 @@ main(int argc, char** argv)
                                    scheds[i % scheds.size()]);
         });
 
+    BenchReport report("fig_gto_issue_profile");
     for (std::size_t w = 0; w < names.size(); ++w) {
         const auto& name = names[w];
         for (std::size_t s = 0; s < scheds.size(); ++s) {
@@ -85,11 +87,21 @@ main(int argc, char** argv)
                                            : double(total) / counts[0], 2) +
                                        ")", bars, 40, 1).c_str());
             std::printf("\n");
+            report.addMetric(name + "." + toString(sched) +
+                                 ".issue_ratio",
+                             counts.empty() || !counts[0]
+                                 ? 0.0
+                                 : double(total) / counts[0]);
         }
     }
     std::printf("Reading: GTO concentrates issue on one greedy CTA "
                 "(skewed bars); LRR is flat.\nThe skew makes "
                 "I_total/I_greedy a usable estimate of the needed CTA "
                 "count.\n");
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(
+        opts, makeConfig(WarpSchedKind::GTO, CtaSchedKind::RoundRobin),
+        makeWorkload("kmeans"), "kmeans/gto");
     return 0;
 }

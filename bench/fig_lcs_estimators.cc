@@ -20,7 +20,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -44,23 +45,36 @@ main(int argc, char** argv)
     Table table("issue-ratio vs threshold estimator");
     table.setHeader({"workload", "issue-ratio", "threshold-40",
                      "threshold-60"});
+    const std::vector<std::string> labels = {"issue_ratio", "threshold40",
+                                             "threshold60"};
+    BenchReport report("fig_lcs_estimators");
     std::vector<std::vector<double>> speedups(3);
     const auto names = workloadNames();
     const auto grid = bench::runWorkloadGrid(names, configs, jobs);
     for (std::size_t w = 0; w < names.size(); ++w) {
         const double base_ipc = grid.at(w, 0).ipc;
+        report.addRow(names[w] + "/base", grid.at(w, 0));
         std::vector<std::string> row = {names[w]};
         for (std::size_t v = 0; v < 3; ++v) {
             const double s = grid.at(w, v + 1).ipc / base_ipc;
             speedups[v].push_back(s);
             row.push_back(fmt(s, 3));
+            report.addRow(names[w] + "/" + labels[v], grid.at(w, v + 1));
+            report.addMetric(names[w] + ".speedup_" + labels[v], s);
         }
         table.addRow(row);
     }
     std::vector<std::string> last = {"geomean"};
-    for (auto& s : speedups)
-        last.push_back(fmt(geomean(s), 3));
+    for (std::size_t v = 0; v < speedups.size(); ++v) {
+        last.push_back(fmt(geomean(speedups[v]), 3));
+        report.addMetric("geomean.speedup_" + labels[v],
+                         geomean(speedups[v]));
+    }
     table.addRow(last);
     std::printf("%s", table.toText().c_str());
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, configs[1], makeWorkload("kmeans"),
+                              "kmeans/issue_ratio");
     return 0;
 }

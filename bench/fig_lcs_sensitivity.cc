@@ -20,7 +20,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
 
@@ -57,24 +58,36 @@ main(int argc, char** argv)
         header.push_back(mode.label);
     table.setHeader(header);
 
+    BenchReport report("fig_lcs_sensitivity");
     const auto names = workloadNames();
     const auto grid = bench::runWorkloadGrid(names, configs, jobs);
     std::vector<std::vector<double>> speedups(
         modes.size(), std::vector<double>());
     for (std::size_t w = 0; w < names.size(); ++w) {
         const double base_ipc = grid.at(w, 0).ipc;
+        report.addRow(names[w] + "/base", grid.at(w, 0));
         std::vector<std::string> row = {names[w]};
         for (std::size_t m = 0; m < modes.size(); ++m) {
             const double s = grid.at(w, m + 1).ipc / base_ipc;
             speedups[m].push_back(s);
             row.push_back(fmt(s, 3));
+            report.addRow(names[w] + "/" + modes[m].label,
+                          grid.at(w, m + 1));
+            report.addMetric(names[w] + ".speedup_" + modes[m].label, s);
         }
         table.addRow(row);
     }
     std::vector<std::string> last = {"geomean"};
-    for (std::size_t m = 0; m < modes.size(); ++m)
+    for (std::size_t m = 0; m < modes.size(); ++m) {
         last.push_back(fmt(geomean(speedups[m]), 3));
+        report.addMetric("geomean.speedup_" + modes[m].label,
+                         geomean(speedups[m]));
+    }
     table.addRow(last);
     std::printf("%s", table.toText().c_str());
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, configs[1], makeWorkload("kmeans"),
+                              "kmeans/first-cta-done");
     return 0;
 }

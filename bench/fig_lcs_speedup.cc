@@ -19,7 +19,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
@@ -36,6 +37,7 @@ main(int argc, char** argv)
     std::vector<double> oracle_speedups;
     std::vector<std::pair<std::string, double>> bars;
 
+    BenchReport report("fig_lcs_speedup");
     const auto names = workloadNames();
     const auto grid = bench::runWorkloadGrid(names, {base, lcs}, jobs);
     for (std::size_t w = 0; w < names.size(); ++w) {
@@ -49,6 +51,11 @@ main(int argc, char** argv)
             oracle.byLimit[oracle.bestLimit - 1].ipc / baseline.ipc;
         lcs_speedups.push_back(s_lcs);
         oracle_speedups.push_back(s_oracle);
+        report.addRow(name + "/base", baseline);
+        report.addRow(name + "/lcs", lazy);
+        report.addMetric(name + ".speedup_lcs", s_lcs);
+        report.addMetric(name + ".speedup_oracle", s_oracle);
+        report.addMetric(name + ".oracle_limit", oracle.bestLimit);
         table.addRow({name, toString(kernel.typeClass),
                       fmt(baseline.ipc, 2), fmt(s_lcs, 3), fmt(s_oracle, 3),
                       std::to_string(oracle.bestLimit)});
@@ -58,5 +65,11 @@ main(int argc, char** argv)
                   fmt(geomean(oracle_speedups), 3), ""});
     std::printf("%s\n", table.toText().c_str());
     std::printf("%s", barChart("LCS speedup over baseline", bars).c_str());
+
+    report.addMetric("geomean.speedup_lcs", geomean(lcs_speedups));
+    report.addMetric("geomean.speedup_oracle", geomean(oracle_speedups));
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, lcs, makeWorkload("srad"),
+                              "srad/lcs");
     return 0;
 }

@@ -20,7 +20,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
@@ -33,6 +34,7 @@ main(int argc, char** argv)
                 jobs);
     Table table("one-shot vs iterative CTA throttling");
     table.setHeader({"workload", "type", "lcs", "dyncta"});
+    BenchReport report("fig_lcs_vs_dyncta");
     std::vector<double> s_lcs;
     std::vector<double> s_dyn;
     const auto names = workloadNames();
@@ -46,9 +48,20 @@ main(int argc, char** argv)
         s_dyn.push_back(b);
         table.addRow({names[w], toString(kernel.typeClass), fmt(a, 3),
                       fmt(b, 3)});
+        report.addRow(names[w] + "/base", grid.at(w, 0));
+        report.addRow(names[w] + "/lcs", grid.at(w, 1));
+        report.addRow(names[w] + "/dyncta", grid.at(w, 2));
+        report.addMetric(names[w] + ".speedup_lcs", a);
+        report.addMetric(names[w] + ".speedup_dyncta", b);
     }
     table.addRow({"geomean", "", fmt(geomean(s_lcs), 3),
                   fmt(geomean(s_dyn), 3)});
     std::printf("%s", table.toText().c_str());
+    report.addMetric("geomean.speedup_lcs", geomean(s_lcs));
+    report.addMetric("geomean.speedup_dyncta", geomean(s_dyn));
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, dyn, makeWorkload("kmeans"),
+                              "kmeans/dyncta");
     return 0;
 }

@@ -25,7 +25,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig config = makeConfig(WarpSchedKind::GTO,
                                         CtaSchedKind::RoundRobin);
 
@@ -90,6 +91,7 @@ main(int argc, char** argv)
                                   policies[i % policies.size()], {}, &iso);
         });
 
+    BenchReport report("fig_mixed_kernels");
     for (std::size_t p = 0; p < pairs.size(); ++p) {
         const auto& [a, b, complementary] = pairs[p];
         const MultiKernelReport& seq = reports[p * policies.size() + 0];
@@ -103,6 +105,14 @@ main(int argc, char** argv)
             spatial_speedups.push_back(s_spatial);
             mixed_speedups.push_back(s_mixed);
         }
+        const std::string pair = a + "+" + b;
+        report.addMetric(pair + ".seq_cycles", seq.totalCycles);
+        report.addMetric(pair + ".speedup_spatial", s_spatial);
+        report.addMetric(pair + ".speedup_mixed", s_mixed);
+        report.addMetric(pair + ".stp_spatial", spa.stp());
+        report.addMetric(pair + ".stp_mixed", mix.stp());
+        report.addMetric(pair + ".antt_spatial", spa.antt());
+        report.addMetric(pair + ".antt_mixed", mix.antt());
         table.addRow({a + "+" + b, complementary ? "compl." : "conflict",
                       std::to_string(seq.totalCycles),
                       fmt(s_spatial, 3), fmt(s_mixed, 3),
@@ -117,5 +127,11 @@ main(int argc, char** argv)
                 "different resources (memory kernel + smem/SFU kernel);\n"
                 "pairing two register/thread-limited kernels shrinks the\n"
                 "compute kernel's occupancy and loses to sequential.\n");
+
+    report.addMetric("geomean.speedup_spatial", geomean(spatial_speedups));
+    report.addMetric("geomean.speedup_mixed", geomean(mixed_speedups));
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, config, makeWorkload("kmeans"),
+                              "kmeans/base");
     return 0;
 }

@@ -18,7 +18,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig lrr = makeConfig(WarpSchedKind::LRR,
                                      CtaSchedKind::RoundRobin);
     const GpuConfig tl = makeConfig(WarpSchedKind::TwoLevel,
@@ -31,6 +32,7 @@ main(int argc, char** argv)
                 jobs);
     Table table("IPC by warp scheduler");
     table.setHeader({"workload", "LRR", "2LVL", "GTO", "GTO/LRR"});
+    BenchReport report("fig_warp_sched");
     std::vector<double> ratios;
     const auto names = workloadNames();
     const auto grid = bench::runWorkloadGrid(names, {lrr, tl, gto}, jobs);
@@ -41,8 +43,17 @@ main(int argc, char** argv)
         const RunResult& b = grid.at(w, 2);
         ratios.push_back(b.ipc / a.ipc);
         table.addRow(name, {a.ipc, t.ipc, b.ipc, b.ipc / a.ipc});
+        report.addRow(name + "/lrr", a);
+        report.addRow(name + "/2lvl", t);
+        report.addRow(name + "/gto", b);
+        report.addMetric(name + ".gto_over_lrr", b.ipc / a.ipc);
     }
     table.addRow("geomean", {0.0, 0.0, 0.0, geomean(ratios)});
     std::printf("%s", table.toText().c_str());
+    report.addMetric("geomean.gto_over_lrr", geomean(ratios));
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, gto, makeWorkload("kmeans"),
+                              "kmeans/gto");
     return 0;
 }

@@ -24,6 +24,8 @@
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
 #include "mem/cache.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
 
@@ -66,6 +68,33 @@ BM_SimulateSmallKernel(benchmark::State& state)
         static_cast<double>(cycles), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SimulateSmallKernel)->Unit(benchmark::kMillisecond);
+
+/**
+ * The same kernel with the full observability stack attached (tracer on
+ * every component plus a 512-cycle interval sampler). Comparing against
+ * BM_SimulateSmallKernel bounds the enabled-path overhead; the disabled
+ * path is BM_SimulateSmallKernel itself (null tracer, no sampler).
+ */
+void
+BM_SimulateSmallKernelObserved(benchmark::State& state)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = smallKernel();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        Tracer tracer(config.numCores, config.numMemPartitions);
+        IntervalSampler sampler(512);
+        Gpu gpu(config, Observer{&tracer, &sampler});
+        gpu.launchKernel(kernel);
+        gpu.run();
+        benchmark::DoNotOptimize(tracer.recorded());
+        cycles += gpu.cycle();
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallKernelObserved)->Unit(benchmark::kMillisecond);
 
 void
 BM_CacheAccess(benchmark::State& state)

@@ -15,10 +15,18 @@ main(int argc, char** argv)
     using namespace bsched;
     // No simulations here; parse anyway so every bench binary shares
     // the same CLI (a stray --jobs is accepted, a typo is rejected).
-    (void)bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const GpuConfig config = GpuConfig::gtx480();
     config.validate();
     std::printf("E1: simulated machine configuration (GTX480-class)\n\n%s",
                 config.toString().c_str());
+
+    BenchReport report("tab_config");
+    report.addMetric("num_cores", config.numCores);
+    report.addMetric("num_mem_partitions", config.numMemPartitions);
+    report.addMetric("max_ctas_per_core", config.maxCtasPerCore);
+    report.addMetric("l1d_size_bytes", config.l1d.sizeBytes);
+    report.addMetric("l2_size_bytes", config.l2.sizeBytes);
+    bench::writeReport(opts, report);
     return 0;
 }

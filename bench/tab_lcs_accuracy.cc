@@ -41,7 +41,8 @@ int
 main(int argc, char** argv)
 {
     using namespace bsched;
-    const unsigned jobs = bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const unsigned jobs = opts.jobs;
     const GpuConfig base = makeConfig(WarpSchedKind::GTO,
                                       CtaSchedKind::RoundRobin);
     const GpuConfig lcs = makeConfig(WarpSchedKind::GTO,
@@ -77,6 +78,7 @@ main(int argc, char** argv)
                      oracleStaticBest(base, kernel, 1)};
     });
 
+    BenchReport report("tab_lcs_accuracy");
     for (std::size_t i = 0; i < names.size(); ++i) {
         const std::string& name = names[i];
         const RunResult& lazy = points[i].lazy;
@@ -96,9 +98,21 @@ main(int argc, char** argv)
                       std::to_string(diff),
                       fmt(lazy.ipc / oracle.byLimit[oracle.bestLimit - 1].ipc,
                           3)});
+        report.addRow(name + "/lcs", lazy);
+        report.addMetric(name + ".estimate", estimate);
+        report.addMetric(name + ".applied_cap", cap);
+        report.addMetric(name + ".oracle_n", oracle.bestLimit);
+        report.addMetric(name + ".abs_error", diff);
     }
     std::printf("%s\n", table.toText().c_str());
     std::printf("exact matches: %d/%d, within +/-1: %d/%d\n", exact, total,
                 within1, total);
+    report.addMetric("exact_matches", exact);
+    report.addMetric("within_one", within1);
+    report.addMetric("total", total);
+
+    bench::writeReport(opts, report);
+    bench::writeTraceArtifact(opts, lcs, makeWorkload("kmeans"),
+                              "kmeans/lcs");
     return 0;
 }

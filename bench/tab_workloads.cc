@@ -18,8 +18,9 @@ main(int argc, char** argv)
     using namespace bsched;
     // No simulations here; parse anyway so every bench binary shares
     // the same CLI (a stray --jobs is accepted, a typo is rejected).
-    (void)bench::parseJobs(argc, argv);
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
     const GpuConfig config = GpuConfig::gtx480();
+    BenchReport report("tab_workloads");
 
     std::printf("E2: workload characteristics\n\n");
     Table table("suite");
@@ -27,6 +28,10 @@ main(int argc, char** argv)
                      "Nmax", "limiter", "type", "dyn-instrs", "notes"});
     for (const auto& name : workloadNames()) {
         const KernelInfo k = makeWorkload(name);
+        report.addMetric(name + ".grid_ctas", k.gridCtas());
+        report.addMetric(name + ".cta_threads", k.ctaThreads());
+        report.addMetric(name + ".n_max", maxCtasPerCore(config, k));
+        report.addMetric(name + ".dyn_instrs", k.totalDynamicInstrs());
         table.addRow({
             name,
             std::to_string(k.gridCtas()),
@@ -41,5 +46,6 @@ main(int argc, char** argv)
         });
     }
     std::printf("%s", table.toText().c_str());
+    bench::writeReport(opts, report);
     return 0;
 }

@@ -11,12 +11,14 @@
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
+#include "sim/log.hh"
 #include "sim/table.hh"
 
 int
 main()
 {
     using namespace bsched;
+    setLogLevelFromEnv(); // honour BSCHED_LOG=silent|warn|info|debug
 
     // A kmeans-like kernel: every CTA repeatedly re-walks a private 8KB
     // tile. One or two resident CTAs fit in the 16KB L1; the occupancy

@@ -10,6 +10,7 @@
 
 #include "gpu/multi_kernel.hh"
 #include "harness/runner.hh"
+#include "sim/log.hh"
 #include "workloads/suite.hh"
 #include "sim/table.hh"
 
@@ -17,6 +18,7 @@ int
 main()
 {
     using namespace bsched;
+    setLogLevelFromEnv(); // honour BSCHED_LOG=silent|warn|info|debug
 
     // kmeans: peaked (type-3) memory kernel, thread/register-limited;
     // lud: compute kernel limited by *shared memory*. Complementary

@@ -8,12 +8,14 @@
 
 #include "gpu/gpu.hh"
 #include "kernel/program_builder.hh"
+#include "sim/log.hh"
 #include "sim/table.hh"
 
 int
 main()
 {
     using namespace bsched;
+    setLogLevelFromEnv(); // honour BSCHED_LOG=silent|warn|info|debug
 
     // 1. Describe a kernel: a grid of 60 CTAs x 128 threads streaming a
     //    vector through a short ALU chain (a saxpy-like kernel).

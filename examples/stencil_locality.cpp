@@ -11,6 +11,7 @@
 
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
+#include "sim/log.hh"
 #include "sim/table.hh"
 
 namespace {
@@ -19,6 +20,7 @@ bsched::KernelInfo
 makeStencil()
 {
     using namespace bsched;
+    setLogLevelFromEnv(); // honour BSCHED_LOG=silent|warn|info|debug
     ProgramBuilder builder;
     // Each CTA processes 4 rows of a 1KB-wide grid and reads 2 halo
     // rows on each side: 50% of each CTA's input is shared with its

@@ -93,7 +93,14 @@ class LdstUnit
     bool drained() const;
 
     const TagArray& l1() const { return tags_; }
+    const MshrFile& mshr() const { return mshr_; }
     std::uint64_t stallCycles() const { return stallCycles_; }
+
+    /** Attach the event tracer to the L1D (observability). */
+    void setTracer(Tracer* tracer, std::uint32_t track)
+    {
+        tags_.setTracer(tracer, track);
+    }
 
     void addStats(StatSet& stats) const;
 

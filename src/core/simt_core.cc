@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernel/mem_pattern.hh"
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -97,6 +98,15 @@ SimtCore::launchCta(Cycle now, const KernelInfo& kernel, int kernel_id,
     if (track.firstLaunch == kCycleNever)
         track.firstLaunch = now;
     ++ctasLaunched_;
+
+    if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.cycle = now;
+        event.kind = TraceEventKind::CtaDispatch;
+        event.kernelId = kernel_id;
+        event.arg0 = cta_id;
+        tracer_->record(track_, event);
+    }
 
     if (cta.warpsDone == cta.warpsTotal)
         completeCta(slot, now);
@@ -294,7 +304,26 @@ SimtCore::completeCta(int hw_cta, Cycle now)
     completed_.push_back(
         {id_, cta.kernelId, cta.ctaId, cta.issued, now, cta.kernel});
     ++ctasCompleted_;
+
+    if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.cycle = now;
+        event.duration = now - cta.launchCycle;
+        event.kind = TraceEventKind::CtaComplete;
+        event.kernelId = cta.kernelId;
+        event.arg0 = cta.ctaId;
+        event.arg1 = static_cast<std::int64_t>(cta.issued);
+        tracer_->record(track_, event);
+    }
     cta.valid = false;
+}
+
+void
+SimtCore::setTracer(Tracer* tracer)
+{
+    tracer_ = tracer;
+    track_ = tracer != nullptr ? tracer->coreTrack(id_) : 0;
+    ldst_.setTracer(tracer, track_);
 }
 
 void

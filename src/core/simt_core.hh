@@ -25,6 +25,8 @@
 
 namespace bsched {
 
+class Tracer;
+
 /** A CTA completion event reported to the CTA scheduler. */
 struct CtaDoneEvent
 {
@@ -83,6 +85,9 @@ class SimtCore
     std::uint64_t instrsIssued() const { return issuedTotal_; }
     std::uint64_t instrsIssued(int kernel_id) const;
 
+    /** Cycles in which at least one instruction issued. */
+    std::uint64_t issueCycles() const { return issueCycles_; }
+
     /**
      * Stall accounting for dynamic CTA controllers (DYNCTA-style):
      * cycles with resident CTAs but zero issue, split into
@@ -107,6 +112,13 @@ class SimtCore
     const LdstUnit& ldst() const { return ldst_; }
 
     void addStats(StatSet& stats) const;
+
+    /**
+     * Attach the event tracer (observability): CTA dispatch/complete
+     * events land on this core's track, and the L1D reports miss
+     * bursts. Null detaches; the disabled cost is an untaken branch.
+     */
+    void setTracer(Tracer* tracer);
 
   private:
     struct HwCta
@@ -152,6 +164,10 @@ class SimtCore
 
     std::uint64_t ctaSeqCounter_ = 0;
     Cycle smemBusyUntil_ = 0;
+
+    // Observability (null = disabled).
+    Tracer* tracer_ = nullptr;
+    std::uint32_t track_ = 0;
 
     // Per-cycle structural issue budgets.
     std::uint32_t memIssuedThisCycle_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -57,6 +58,15 @@ BlockCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
             const std::uint64_t seq = blockSeqCounter_++;
             for (std::uint32_t b = 0; b < want; ++b)
                 dispatch(now, *kernel, core, seq);
+            if (tracer_ != nullptr && want >= 2) {
+                TraceEvent event;
+                event.cycle = now;
+                event.kind = TraceEventKind::BcsPairForm;
+                event.kernelId = kernel->id;
+                event.arg0 = static_cast<std::int64_t>(seq);
+                event.arg1 = want;
+                tracer_->record(tracer_->coreTrack(c), event);
+            }
             used[c] = true;
         }
     }

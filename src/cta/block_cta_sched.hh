@@ -65,6 +65,12 @@ class LazyBlockCtaScheduler : public BlockCtaScheduler
 
     void addStats(StatSet& stats) const override;
 
+    void setTracer(Tracer* tracer) override
+    {
+        CtaScheduler::setTracer(tracer);
+        lazy_.setTracer(tracer);
+    }
+
   protected:
     std::uint32_t residencyCap(std::uint32_t core_id,
                                const KernelInstance& kernel) const override;

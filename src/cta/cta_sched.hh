@@ -19,6 +19,8 @@
 
 namespace bsched {
 
+class Tracer;
+
 /** A kernel in flight on the GPU. */
 struct KernelInstance
 {
@@ -62,6 +64,14 @@ class CtaScheduler
     /** Export policy-internal stats (e.g. LCS decisions). */
     virtual void addStats(StatSet& stats) const;
 
+    /**
+     * Attach the event tracer (observability): policy decisions — LCS
+     * window closes, BCS pair dispatches, DYNCTA target moves — are
+     * emitted on the affected core's track. Null detaches. Overriders
+     * must forward to embedded scheduler components.
+     */
+    virtual void setTracer(Tracer* tracer) { tracer_ = tracer; }
+
     /** Factory from configuration. */
     static std::unique_ptr<CtaScheduler> create(const GpuConfig& config);
 
@@ -87,6 +97,7 @@ class CtaScheduler
     GpuConfig config_;
     std::uint64_t blockSeqCounter_ = 0;
     std::uint64_t dispatches_ = 0;
+    Tracer* tracer_ = nullptr; ///< observability hook (null = disabled)
 };
 
 /** Baseline: greedy round-robin to maximum occupancy. */

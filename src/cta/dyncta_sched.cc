@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -41,17 +42,29 @@ DynctaScheduler::sample(Cycle now, std::uint32_t core_id,
     const double mem_frac = 100.0 * static_cast<double>(mem) / period;
     const double idle_frac = 100.0 * static_cast<double>(idle) / period;
 
+    int delta = 0;
     if (mem_frac > config_.dyncta.memHighPct) {
         if (cs.target > 1) {
             --cs.target;
             ++cs.decreases;
+            delta = -1;
         }
     } else if (mem_frac < config_.dyncta.memLowPct &&
                idle_frac > config_.dyncta.idleHighPct) {
         if (cs.target < config_.maxCtasPerCore) {
             ++cs.target;
             ++cs.increases;
+            delta = 1;
         }
+    }
+
+    if (tracer_ != nullptr && delta != 0) {
+        TraceEvent event;
+        event.cycle = now;
+        event.kind = TraceEventKind::DynctaAdjust;
+        event.arg0 = cs.target;
+        event.arg1 = delta;
+        tracer_->record(tracer_->coreTrack(core_id), event);
     }
 }
 

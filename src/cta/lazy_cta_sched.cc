@@ -2,12 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
 
 void
-LazyCtaScheduler::decide(std::uint32_t core_id, int kernel_id,
+LazyCtaScheduler::decide(Cycle now, std::uint32_t core_id, int kernel_id,
                          std::uint32_t n_max, const SimtCore& core)
 {
     Monitor& mon = monitors_[{core_id, kernel_id}];
@@ -46,6 +47,16 @@ LazyCtaScheduler::decide(std::uint32_t core_id, int kernel_id,
     }
     mon.nOpt = std::clamp<std::uint32_t>(n_opt, 1, n_max);
     mon.decided = true;
+
+    if (tracer_ != nullptr) {
+        TraceEvent event;
+        event.cycle = now;
+        event.kind = TraceEventKind::LcsWindowClose;
+        event.kernelId = kernel_id;
+        event.arg0 = mon.nOpt;
+        event.arg1 = n_max;
+        tracer_->record(tracer_->coreTrack(core_id), event);
+    }
 }
 
 std::uint32_t
@@ -70,7 +81,6 @@ void
 LazyCtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
                                 CoreList& cores)
 {
-    (void)now;
     if (config_.lcs.windowMode != LcsWindowMode::FirstCtaDone)
         return;
     if (event.info == nullptr)
@@ -82,7 +92,7 @@ LazyCtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
     // config_.maxCtasPerCore, and clamping against the larger bound would
     // let estimate+slack settle above what the core can actually hold
     // (matching closeExpiredWindows in FixedCycles mode).
-    decide(event.coreId, event.kernelId, staticCap(*event.info),
+    decide(now, event.coreId, event.kernelId, staticCap(*event.info),
            *cores.at(event.coreId));
 }
 
@@ -99,7 +109,8 @@ LazyCtaScheduler::closeExpiredWindows(
             if (start == kCycleNever)
                 continue;
             if (now >= start + config_.lcs.fixedWindowCycles)
-                decide(c, kernel.id, staticCap(*kernel.info), *cores[c]);
+                decide(now, c, kernel.id, staticCap(*kernel.info),
+                       *cores[c]);
         }
     }
 }

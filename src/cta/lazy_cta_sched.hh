@@ -77,8 +77,8 @@ class LazyCtaScheduler : public CtaScheduler
     using Key = std::pair<std::uint32_t, int>; ///< (core, kernelId)
 
     /** Close the window and compute N_opt from the core's counters. */
-    void decide(std::uint32_t core_id, int kernel_id, std::uint32_t n_max,
-                const SimtCore& core);
+    void decide(Cycle now, std::uint32_t core_id, int kernel_id,
+                std::uint32_t n_max, const SimtCore& core);
 
     std::map<Key, Monitor> monitors_;
 };

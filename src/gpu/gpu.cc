@@ -1,11 +1,13 @@
 #include "gpu/gpu.hh"
 
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
 
-Gpu::Gpu(const GpuConfig& config)
-    : config_(config), icnt_(config)
+Gpu::Gpu(const GpuConfig& config, Observer obs)
+    : obs_(obs), config_(config), icnt_(config)
 {
     config_.validate();
     for (std::uint32_t c = 0; c < config_.numCores; ++c)
@@ -13,6 +15,14 @@ Gpu::Gpu(const GpuConfig& config)
     for (std::uint32_t p = 0; p < config_.numMemPartitions; ++p)
         partitions_.push_back(std::make_unique<MemPartition>(config_, p));
     ctaSched_ = CtaScheduler::create(config_);
+
+    if (obs_.tracer != nullptr) {
+        for (auto& core : cores_)
+            core->setTracer(obs_.tracer);
+        for (auto& part : partitions_)
+            part->setTracer(obs_.tracer);
+        ctaSched_->setTracer(obs_.tracer);
+    }
 }
 
 int
@@ -35,6 +45,15 @@ Gpu::launchKernel(const KernelInfo& kernel, int core_begin, int core_end,
     inst.coreEnd = core_end;
     inst.priority = priority;
     kernels_.push_back(inst);
+
+    if (obs_.tracer != nullptr) {
+        TraceEvent event;
+        event.cycle = cycle_;
+        event.kind = TraceEventKind::KernelLaunch;
+        event.kernelId = inst.id;
+        event.arg0 = kernel.gridCtas();
+        obs_.tracer->record(obs_.tracer->gpuTrack(), event);
+    }
     return inst.id;
 }
 
@@ -116,13 +135,26 @@ Gpu::stepCycle()
             KernelInstance& kernel =
                 kernels_.at(static_cast<std::size_t>(event.kernelId));
             ++kernel.ctasDone;
-            if (kernel.finished() && kernel.doneCycle == kCycleNever)
+            if (kernel.finished() && kernel.doneCycle == kCycleNever) {
                 kernel.doneCycle = now;
+                if (obs_.tracer != nullptr) {
+                    TraceEvent trace;
+                    trace.cycle = now;
+                    trace.duration = now - kernel.launchCycle;
+                    trace.kind = TraceEventKind::KernelRetire;
+                    trace.kernelId = kernel.id;
+                    trace.arg0 = kernel.ctasDone;
+                    obs_.tracer->record(obs_.tracer->gpuTrack(), trace);
+                }
+            }
             ctaSched_->notifyCtaDone(now, event, cores_);
         }
     }
 
     ctaSched_->tick(now, kernels_, cores_);
+
+    if (obs_.sampler != nullptr && obs_.sampler->due(now))
+        collectSample(now);
 
     ++cycle_;
     if (cycle_ >= config_.maxCycles)
@@ -158,6 +190,79 @@ Gpu::run()
     // statistics are conserved and a subsequent launch starts clean.
     while (!drained())
         stepCycle();
+    // A closing sample ties off every series at the final cycle so that
+    // cumulative counters end exactly at the StatSet totals.
+    if (obs_.sampler != nullptr &&
+        (obs_.sampler->cycles().empty() ||
+         obs_.sampler->cycles().back() != cycle_)) {
+        collectSample(cycle_);
+    }
+}
+
+void
+Gpu::collectSample(Cycle now)
+{
+    IntervalSampler& s = *obs_.sampler;
+    s.begin(now);
+
+    const std::uint64_t instrs = totalInstrsIssued();
+    s.record("gpu.instrs", static_cast<double>(instrs),
+             SeriesKind::Counter);
+    const Cycle span = now - lastSampleCycle_;
+    const double interval_ipc = span == 0
+        ? 0.0
+        : static_cast<double>(instrs - lastSampleInstrs_) /
+            static_cast<double>(span);
+    s.record("gpu.interval_ipc", interval_ipc, SeriesKind::Gauge);
+    lastSampleCycle_ = now;
+    lastSampleInstrs_ = instrs;
+
+    std::uint64_t active = 0;
+    std::uint64_t issue = 0, stall_mem = 0, stall_idle = 0;
+    std::uint64_t l1_access = 0, l1_miss = 0, l1_mshr = 0;
+    for (const auto& core : cores_) {
+        active += core->residentCtas();
+        issue += core->issueCycles();
+        stall_mem += core->memStallCycles();
+        stall_idle += core->idleStallCycles();
+        l1_access += core->ldst().l1().accesses();
+        l1_miss += core->ldst().l1().misses();
+        l1_mshr += core->ldst().mshr().entriesInUse();
+    }
+    s.record("gpu.active_ctas", static_cast<double>(active),
+             SeriesKind::Gauge);
+    s.record("core.issue_cycles", static_cast<double>(issue),
+             SeriesKind::Counter);
+    s.record("core.stall_mem", static_cast<double>(stall_mem),
+             SeriesKind::Counter);
+    s.record("core.stall_idle", static_cast<double>(stall_idle),
+             SeriesKind::Counter);
+    s.record("l1d.access", static_cast<double>(l1_access),
+             SeriesKind::Counter);
+    s.record("l1d.miss", static_cast<double>(l1_miss),
+             SeriesKind::Counter);
+    s.record("l1d.mshr_in_use", static_cast<double>(l1_mshr),
+             SeriesKind::Gauge);
+
+    std::uint64_t l2_access = 0, l2_miss = 0, l2_mshr = 0;
+    std::uint64_t row_hit = 0, row_miss = 0;
+    for (const auto& part : partitions_) {
+        l2_access += part->l2().accesses();
+        l2_miss += part->l2().misses();
+        l2_mshr += part->l2Mshr().entriesInUse();
+        row_hit += part->dram().rowHits();
+        row_miss += part->dram().rowMisses();
+    }
+    s.record("l2.access", static_cast<double>(l2_access),
+             SeriesKind::Counter);
+    s.record("l2.miss", static_cast<double>(l2_miss),
+             SeriesKind::Counter);
+    s.record("l2.mshr_in_use", static_cast<double>(l2_mshr),
+             SeriesKind::Gauge);
+    s.record("dram.row_hit", static_cast<double>(row_hit),
+             SeriesKind::Counter);
+    s.record("dram.row_miss", static_cast<double>(row_miss),
+             SeriesKind::Counter);
 }
 
 const KernelInstance&

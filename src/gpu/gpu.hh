@@ -14,6 +14,7 @@
 #include "cta/cta_sched.hh"
 #include "mem/interconnect.hh"
 #include "mem/mem_partition.hh"
+#include "obs/observer.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
@@ -23,7 +24,12 @@ namespace bsched {
 class Gpu
 {
   public:
-    explicit Gpu(const GpuConfig& config);
+    /**
+     * @param obs optional observability hooks (non-owning; must outlive
+     *        the Gpu). The default — no tracer, no sampler — is the
+     *        zero-cost path: nothing is allocated or recorded.
+     */
+    explicit Gpu(const GpuConfig& config, Observer obs = {});
 
     /**
      * Register a kernel for execution. The KernelInfo must outlive the
@@ -70,9 +76,15 @@ class Gpu
     const CoreList& cores() const { return cores_; }
     const CtaScheduler& ctaScheduler() const { return *ctaSched_; }
 
+    const Observer& observer() const { return obs_; }
+
   private:
     void moveMemoryTraffic();
 
+    /** Snapshot the sampled counter set into the interval sampler. */
+    void collectSample(Cycle now);
+
+    Observer obs_;
     GpuConfig config_;
     CoreList cores_;
     std::vector<std::unique_ptr<MemPartition>> partitions_;
@@ -80,6 +92,10 @@ class Gpu
     std::unique_ptr<CtaScheduler> ctaSched_;
     std::vector<KernelInstance> kernels_;
     Cycle cycle_ = 0;
+
+    // Interval-IPC bookkeeping for the sampler.
+    Cycle lastSampleCycle_ = 0;
+    std::uint64_t lastSampleInstrs_ = 0;
 };
 
 } // namespace bsched

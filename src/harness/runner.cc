@@ -42,7 +42,13 @@ RunResult::dramRowHitRate() const
 RunResult
 runKernel(const GpuConfig& config, const KernelInfo& kernel)
 {
-    Gpu gpu(config);
+    return runKernel(config, kernel, Observer{});
+}
+
+RunResult
+runKernel(const GpuConfig& config, const KernelInfo& kernel, Observer obs)
+{
+    Gpu gpu(config, obs);
     gpu.launchKernel(kernel);
     gpu.run();
     RunResult result;

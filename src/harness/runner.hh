@@ -40,6 +40,15 @@ struct RunResult
 /** Run one kernel to completion under @p config. */
 RunResult runKernel(const GpuConfig& config, const KernelInfo& kernel);
 
+/**
+ * Run one kernel with observability hooks attached (tracing and/or
+ * interval sampling). The pointers in @p obs are non-owning and the
+ * counters/events accumulate into the caller's objects; the simulated
+ * outcome is identical to the unobserved overload.
+ */
+RunResult runKernel(const GpuConfig& config, const KernelInfo& kernel,
+                    Observer obs);
+
 /** Run a suite workload by name. */
 RunResult runWorkload(const GpuConfig& config, const std::string& name);
 

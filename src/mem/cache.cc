@@ -1,5 +1,6 @@
 #include "mem/cache.hh"
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -58,12 +59,40 @@ TagArray::access(Addr line_addr, Cycle now)
 {
     ++accesses_;
     Line* line = find(line_addr);
-    if (!line)
+    if (!line) {
+        if (tracer_ != nullptr && ++missRun_ >= kBurstCap) {
+            TraceEvent event;
+            event.cycle = now;
+            event.kind = TraceEventKind::CacheMissBurst;
+            event.arg0 = static_cast<std::int64_t>(missRun_);
+            tracer_->record(track_, event);
+            missRun_ = 0;
+        }
         return false;
+    }
+    if (tracer_ != nullptr) {
+        // A hit closes the current miss run; long runs are reported.
+        if (missRun_ >= kBurstMin) {
+            TraceEvent event;
+            event.cycle = now;
+            event.kind = TraceEventKind::CacheMissBurst;
+            event.arg0 = static_cast<std::int64_t>(missRun_);
+            tracer_->record(track_, event);
+        }
+        missRun_ = 0;
+    }
     ++hits_;
     line->lastUse = now;
     line->seq = ++seqCounter_;
     return true;
+}
+
+void
+TagArray::setTracer(Tracer* tracer, std::uint32_t track)
+{
+    tracer_ = tracer;
+    track_ = track;
+    missRun_ = 0;
 }
 
 bool

@@ -19,6 +19,8 @@
 
 namespace bsched {
 
+class Tracer;
+
 /** Result of inserting a line: the victim, if a valid one was evicted. */
 struct Eviction
 {
@@ -65,6 +67,18 @@ class TagArray
     /** Export "<prefix>.access/.hit/.miss" stats. */
     void addStats(StatSet& stats, const std::string& prefix) const;
 
+    /**
+     * Attach the event tracer (observability): consecutive-miss bursts
+     * of kBurstMin+ accesses emit CacheMissBurst events on @p track.
+     * Null detaches; detached costs one untaken branch per access.
+     */
+    void setTracer(Tracer* tracer, std::uint32_t track);
+
+    /** Miss-run length that qualifies as a reportable burst. */
+    static constexpr std::uint64_t kBurstMin = 32;
+    /** Unbroken runs emit (and restart) at this length, bounding loss. */
+    static constexpr std::uint64_t kBurstCap = 1024;
+
   private:
     struct Line
     {
@@ -91,6 +105,11 @@ class TagArray
     std::uint64_t evictions_ = 0;
     std::uint64_t dirtyEvictions_ = 0;
     std::uint64_t seqCounter_ = 0;
+
+    // Observability: current consecutive-miss run (tracer attached only).
+    Tracer* tracer_ = nullptr;
+    std::uint32_t track_ = 0;
+    std::uint64_t missRun_ = 0;
 };
 
 } // namespace bsched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -56,10 +57,21 @@ DramChannel::service(Cycle now, std::size_t queue_index)
     const bool row_hit = bank.openRow == row;
     const Cycle latency =
         row_hit ? config_.rowHitLatency : config_.rowMissLatency;
-    if (row_hit)
+    if (row_hit) {
         ++rowHits_;
-    else
+    } else {
         ++rowMisses_;
+        if (tracer_ != nullptr && bank.openRow >= 0) {
+            // A conflict proper: an open row had to be closed for this
+            // request (first-touch row misses are not conflicts).
+            TraceEvent event;
+            event.cycle = now;
+            event.kind = TraceEventKind::DramRowConflict;
+            event.arg0 = static_cast<std::int64_t>(req.bank);
+            event.arg1 = row;
+            tracer_->record(track_, event);
+        }
+    }
     bank.openRow = row;
 
     // Array access completes after the bank latency; the burst then
@@ -122,6 +134,13 @@ DramChannel::popResponse(Cycle now)
     Addr line = completions_.front().second;
     completions_.pop_front();
     return line;
+}
+
+void
+DramChannel::setTracer(Tracer* tracer, std::uint32_t track)
+{
+    tracer_ = tracer;
+    track_ = track;
 }
 
 void

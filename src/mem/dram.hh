@@ -20,6 +20,8 @@
 
 namespace bsched {
 
+class Tracer;
+
 /** One DRAM channel (paired 1:1 with a memory partition). */
 class DramChannel
 {
@@ -64,6 +66,13 @@ class DramChannel
 
     void addStats(StatSet& stats, const std::string& prefix) const;
 
+    /**
+     * Attach the event tracer (observability): row-buffer conflicts —
+     * a serviced request closing a different open row — emit
+     * DramRowConflict events on @p track. Null detaches.
+     */
+    void setTracer(Tracer* tracer, std::uint32_t track);
+
   private:
     struct Request
     {
@@ -99,6 +108,9 @@ class DramChannel
     std::uint64_t writes_ = 0;
     std::uint64_t rowHits_ = 0;
     std::uint64_t rowMisses_ = 0;
+
+    Tracer* tracer_ = nullptr;
+    std::uint32_t track_ = 0;
 };
 
 } // namespace bsched

@@ -1,5 +1,6 @@
 #include "mem/mem_partition.hh"
 
+#include "obs/trace.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -14,6 +15,15 @@ MemPartition::MemPartition(const GpuConfig& config, std::uint32_t id)
       dram_(config.dram, config.l2.lineBytes, config.numMemPartitions,
             name_ + ".dram")
 {}
+
+void
+MemPartition::setTracer(Tracer* tracer)
+{
+    const std::uint32_t track =
+        tracer != nullptr ? tracer->partitionTrack(id_) : 0;
+    tags_.setTracer(tracer, track);
+    dram_.setTracer(tracer, track);
+}
 
 void
 MemPartition::pushRequest(Cycle now, const MemRequest& request)

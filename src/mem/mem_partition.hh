@@ -52,7 +52,14 @@ class MemPartition
     void flush();
 
     const TagArray& l2() const { return tags_; }
+    const MshrFile& l2Mshr() const { return mshr_; }
     const DramChannel& dram() const { return dram_; }
+
+    /**
+     * Attach the event tracer (observability): L2 miss bursts and DRAM
+     * row conflicts are reported on this partition's track.
+     */
+    void setTracer(Tracer* tracer);
 
     void addStats(StatSet& stats) const;
 

@@ -1,0 +1,353 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+bool
+JsonValue::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: value is not a bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (type_ != Type::Number)
+        fatal("json: value is not a number");
+    return number_;
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: value is not a string");
+    return string_;
+}
+
+const std::vector<JsonValue>&
+JsonValue::asArray() const
+{
+    if (type_ != Type::Array)
+        fatal("json: value is not an array");
+    return array_;
+}
+
+const std::map<std::string, JsonValue>&
+JsonValue::asObject() const
+{
+    if (type_ != Type::Object)
+        fatal("json: value is not an object");
+    return object_;
+}
+
+const JsonValue&
+JsonValue::at(const std::string& key) const
+{
+    const auto& members = asObject();
+    auto it = members.find(key);
+    if (it == members.end())
+        fatal("json: missing key '", key, "'");
+    return it->second;
+}
+
+bool
+JsonValue::has(const std::string& key) const
+{
+    return type_ == Type::Object &&
+        object_.find(key) != object_.end();
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.type_ = Type::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double n)
+{
+    JsonValue v;
+    v.type_ = Type::Number;
+    v.number_ = n;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.type_ = Type::String;
+    v.string_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.type_ = Type::Array;
+    v.array_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::map<std::string, JsonValue> members)
+{
+    JsonValue v;
+    v.type_ = Type::Object;
+    v.object_ = std::move(members);
+    return v;
+}
+
+namespace {
+
+/** Recursive-descent parser over a string, tracking position. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string& text)
+        : text_(text)
+    {}
+
+    JsonValue parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWs();
+        if (pos_ != text_.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void fail(const std::string& what) const
+    {
+        fatal("json parse error at offset ", pos_, ": ", what);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char peek()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool tryConsume(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    void literal(const char* word)
+    {
+        for (const char* p = word; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p)
+                fail(std::string("bad literal, expected ") + word);
+            ++pos_;
+        }
+    }
+
+    JsonValue parseValue()
+    {
+        switch (peek()) {
+          case '{':
+            return parseObject();
+          case '[':
+            return parseArray();
+          case '"':
+            return JsonValue::makeString(parseString());
+          case 't':
+            literal("true");
+            return JsonValue::makeBool(true);
+          case 'f':
+            literal("false");
+            return JsonValue::makeBool(false);
+          case 'n':
+            literal("null");
+            return JsonValue::makeNull();
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char esc = text_[pos_++];
+            switch (esc) {
+              case '"':
+              case '\\':
+              case '/':
+                out += esc;
+                break;
+              case 'n':
+                out += '\n';
+                break;
+              case 't':
+                out += '\t';
+                break;
+              case 'r':
+                out += '\r';
+                break;
+              case 'b':
+                out += '\b';
+                break;
+              case 'f':
+                out += '\f';
+                break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code += static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code += static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape digit");
+                }
+                // The sinks only escape control characters, which stay
+                // in the single-byte range.
+                if (code > 0xff)
+                    fail("\\u escape above 0xff unsupported");
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("unknown escape character");
+            }
+        }
+    }
+
+    JsonValue parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool any = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            ++pos_;
+            any = true;
+        }
+        if (!any)
+            fail("expected a number");
+        const std::string token = text_.substr(start, pos_ - start);
+        char* end = nullptr;
+        const double value = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("malformed number '" + token + "'");
+        return JsonValue::makeNumber(value);
+    }
+
+    JsonValue parseArray()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        if (tryConsume(']'))
+            return JsonValue::makeArray(std::move(items));
+        while (true) {
+            items.push_back(parseValue());
+            if (tryConsume(']'))
+                return JsonValue::makeArray(std::move(items));
+            expect(',');
+        }
+    }
+
+    JsonValue parseObject()
+    {
+        expect('{');
+        std::map<std::string, JsonValue> members;
+        if (tryConsume('}'))
+            return JsonValue::makeObject(std::move(members));
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            expect(':');
+            members.emplace(std::move(key), parseValue());
+            if (tryConsume('}'))
+                return JsonValue::makeObject(std::move(members));
+            expect(',');
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(const std::string& text)
+{
+    return Parser(text).parseDocument();
+}
+
+JsonValue
+parseJsonFile(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatal("cannot open '", path, "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseJson(buffer.str());
+}
+
+} // namespace bsched

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal JSON parser for validating the observability artifacts (the
+ * Chrome trace and the bsched-run/bsched-bench documents) from tests
+ * and examples without an external dependency. Strict on structure —
+ * any malformed input is a fatal() — but numbers are held as doubles,
+ * which is exact for everything the sinks emit (<= 2^53).
+ */
+
+#ifndef BSCHED_OBS_JSON_HH
+#define BSCHED_OBS_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace bsched {
+
+/** One parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isObject() const { return type_ == Type::Object; }
+    bool isArray() const { return type_ == Type::Array; }
+
+    /** Typed accessors; fatal() on type mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string& asString() const;
+    const std::vector<JsonValue>& asArray() const;
+    const std::map<std::string, JsonValue>& asObject() const;
+
+    /** Object member access; fatal() if absent or not an object. */
+    const JsonValue& at(const std::string& key) const;
+
+    /** True if this is an object containing @p key. */
+    bool has(const std::string& key) const;
+
+    // Construction (used by the parser; tests rarely need these).
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double n);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue makeObject(std::map<std::string, JsonValue> members);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+};
+
+/** Parse a complete JSON document; fatal() on any syntax error. */
+JsonValue parseJson(const std::string& text);
+
+/** Read and parse a JSON file; fatal() on I/O or syntax errors. */
+JsonValue parseJsonFile(const std::string& path);
+
+} // namespace bsched
+
+#endif // BSCHED_OBS_JSON_HH

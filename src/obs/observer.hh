@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The Observer bundle: the non-owning handles a Gpu needs to feed the
+ * observability subsystem. Both pointers default to null, which is the
+ * zero-cost-disabled state — no component allocates or records anything
+ * unless the caller attached a sink before the run.
+ */
+
+#ifndef BSCHED_OBS_OBSERVER_HH
+#define BSCHED_OBS_OBSERVER_HH
+
+namespace bsched {
+
+class Tracer;
+class IntervalSampler;
+
+/** Non-owning observability hooks handed to Gpu at construction. */
+struct Observer
+{
+    Tracer* tracer = nullptr;
+    IntervalSampler* sampler = nullptr;
+
+    bool enabled() const { return tracer != nullptr || sampler != nullptr; }
+};
+
+} // namespace bsched
+
+#endif // BSCHED_OBS_OBSERVER_HH

@@ -1,0 +1,179 @@
+#include "obs/trace.hh"
+
+#include <ostream>
+#include <string>
+
+#include "obs/sampler.hh"
+#include "obs/sink.hh"
+#include "sim/log.hh"
+
+namespace bsched {
+
+const char*
+toString(TraceEventKind kind)
+{
+    switch (kind) {
+      case TraceEventKind::KernelLaunch:
+        return "kernel.launch";
+      case TraceEventKind::KernelRetire:
+        return "kernel.retire";
+      case TraceEventKind::CtaDispatch:
+        return "cta.dispatch";
+      case TraceEventKind::CtaComplete:
+        return "cta.complete";
+      case TraceEventKind::LcsWindowClose:
+        return "lcs.window_close";
+      case TraceEventKind::BcsPairForm:
+        return "bcs.pair_form";
+      case TraceEventKind::DynctaAdjust:
+        return "dyncta.adjust";
+      case TraceEventKind::CacheMissBurst:
+        return "cache.miss_burst";
+      case TraceEventKind::DramRowConflict:
+        return "dram.row_conflict";
+    }
+    panic("unknown TraceEventKind");
+}
+
+Tracer::Tracer(std::uint32_t num_cores, std::uint32_t num_partitions,
+               std::size_t capacity_per_track)
+    : numCores_(num_cores),
+      numPartitions_(num_partitions),
+      capacity_(capacity_per_track)
+{
+    if (capacity_ == 0)
+        fatal("tracer: ring capacity must be > 0");
+    tracks_.resize(numTracks());
+    for (Ring& ring : tracks_)
+        ring.buf.resize(capacity_);
+}
+
+std::string
+Tracer::trackName(std::uint32_t track) const
+{
+    if (track < numCores_)
+        return "core" + std::to_string(track);
+    if (track < numCores_ + numPartitions_)
+        return "part" + std::to_string(track - numCores_);
+    return "gpu";
+}
+
+void
+Tracer::record(std::uint32_t track, const TraceEvent& event)
+{
+    Ring& ring = tracks_.at(track);
+    if (ring.count == capacity_) {
+        // Full: overwrite the oldest slot and advance the head.
+        ring.buf[ring.head] = event;
+        ring.head = (ring.head + 1) % capacity_;
+        ++dropped_;
+    } else {
+        ring.buf[(ring.head + ring.count) % capacity_] = event;
+        ++ring.count;
+    }
+    ++recorded_;
+}
+
+std::vector<TraceEvent>
+Tracer::events(std::uint32_t track) const
+{
+    const Ring& ring = tracks_.at(track);
+    std::vector<TraceEvent> out;
+    out.reserve(ring.count);
+    for (std::size_t i = 0; i < ring.count; ++i)
+        out.push_back(ring.buf[(ring.head + i) % capacity_]);
+    return out;
+}
+
+std::vector<TraceEvent>
+Tracer::eventsOfKind(TraceEventKind kind) const
+{
+    std::vector<TraceEvent> out;
+    for (std::uint32_t t = 0; t < numTracks(); ++t) {
+        for (const TraceEvent& event : events(t)) {
+            if (event.kind == kind)
+                out.push_back(event);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+/** True for kinds exported as duration ("X") events. */
+bool
+isSpan(TraceEventKind kind)
+{
+    return kind == TraceEventKind::CtaComplete ||
+        kind == TraceEventKind::KernelRetire;
+}
+
+void
+writeEventJson(std::ostream& os, const TraceEvent& event,
+               std::uint32_t track)
+{
+    // One simulated cycle = one trace microsecond.
+    const Cycle start = event.cycle - event.duration;
+    os << "{\"name\":\"" << toString(event.kind) << "\",";
+    if (isSpan(event.kind)) {
+        os << "\"ph\":\"X\",\"ts\":" << start
+           << ",\"dur\":" << event.duration << ",";
+    } else {
+        os << "\"ph\":\"i\",\"ts\":" << event.cycle << ",\"s\":\"t\",";
+    }
+    os << "\"pid\":" << track << ",\"tid\":0,\"args\":{"
+       << "\"kernel\":" << event.kernelId << ",\"arg0\":" << event.arg0
+       << ",\"arg1\":" << event.arg1 << "}}";
+}
+
+} // namespace
+
+void
+Tracer::writeChromeTrace(std::ostream& os,
+                         const IntervalSampler* sampler) const
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    const auto sep = [&] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    // Name each track so chrome://tracing shows core0..N, part0..M, gpu.
+    for (std::uint32_t t = 0; t < numTracks(); ++t) {
+        sep();
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << t
+           << ",\"tid\":0,\"args\":{\"name\":\""
+           << jsonEscape(trackName(t)) << "\"}}";
+    }
+
+    for (std::uint32_t t = 0; t < numTracks(); ++t) {
+        for (const TraceEvent& event : events(t)) {
+            sep();
+            writeEventJson(os, event, t);
+        }
+    }
+
+    // Gauge series become counter tracks on the gpu process.
+    if (sampler != nullptr) {
+        for (const auto& [name, series] : sampler->series()) {
+            if (series.kind != SeriesKind::Gauge)
+                continue;
+            for (std::size_t i = 0; i < series.values.size(); ++i) {
+                sep();
+                os << "{\"name\":\"" << jsonEscape(name)
+                   << "\",\"ph\":\"C\",\"ts\":" << sampler->cycles()[i]
+                   << ",\"pid\":" << gpuTrack() << ",\"args\":{\"value\":"
+                   << jsonNumber(series.values[i]) << "}}";
+            }
+        }
+    }
+
+    os << "],\n\"displayTimeUnit\":\"ms\",\"otherData\":{"
+       << "\"schema\":\"bsched-trace-v1\",\"cycle_unit\":\"us\","
+       << "\"recorded\":" << recorded_ << ",\"dropped\":" << dropped_
+       << "}}\n";
+}
+
+} // namespace bsched

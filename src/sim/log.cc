@@ -1,5 +1,7 @@
 #include "sim/log.hh"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 
@@ -19,6 +21,34 @@ void
 setLogLevel(LogLevel level)
 {
     g_level = level;
+}
+
+LogLevel
+parseLogLevel(const std::string& name)
+{
+    std::string lower = name;
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) {
+                       return static_cast<char>(std::tolower(c));
+                   });
+    if (lower == "silent")
+        return LogLevel::Silent;
+    if (lower == "warn")
+        return LogLevel::Warn;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "debug")
+        return LogLevel::Debug;
+    fatal("unknown log level '", name,
+          "' (expected silent, warn, info or debug)");
+}
+
+void
+setLogLevelFromEnv()
+{
+    const char* env = std::getenv("BSCHED_LOG");
+    if (env != nullptr && env[0] != '\0')
+        setLogLevel(parseLogLevel(env));
 }
 
 namespace detail {

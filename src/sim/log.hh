@@ -22,6 +22,18 @@ LogLevel logLevel();
 /** Set process-wide log verbosity. */
 void setLogLevel(LogLevel level);
 
+/**
+ * Parse a verbosity name — "silent", "warn", "info" or "debug"
+ * (case-insensitive); fatal() on anything else.
+ */
+LogLevel parseLogLevel(const std::string& name);
+
+/**
+ * Apply the BSCHED_LOG environment variable (same names as
+ * parseLogLevel) to the process-wide verbosity; no-op when unset.
+ */
+void setLogLevelFromEnv();
+
 namespace detail {
 [[noreturn]] void fatalImpl(const std::string& msg);
 [[noreturn]] void panicImpl(const std::string& msg);

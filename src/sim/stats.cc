@@ -33,6 +33,13 @@ StatSet::get(const std::string& name) const
 }
 
 double
+StatSet::getOr(const std::string& name, double fallback) const
+{
+    auto it = map_.find(name);
+    return it == map_.end() ? fallback : it->second;
+}
+
+double
 StatSet::require(const std::string& name) const
 {
     auto it = map_.find(name);

@@ -30,6 +30,9 @@ class StatSet
     /** Value of the stat; 0 if absent. */
     double get(const std::string& name) const;
 
+    /** Value of the stat; @p fallback if absent. */
+    double getOr(const std::string& name, double fallback) const;
+
     /** Value of the stat; fatal() if absent (for harness assertions). */
     double require(const std::string& name) const;
 

@@ -61,6 +61,27 @@ TEST(Runner, MissRateHelpersInRange)
     EXPECT_LE(r.dramRowHitRate(), 1.0);
 }
 
+TEST(Runner, ZeroAccessKernelHasWellDefinedMissRates)
+{
+    // A pure-ALU kernel never touches the memory system; the derived
+    // rates must read 0, not NaN or a fatal division.
+    KernelInfo k;
+    k.name = "alu_only";
+    k.grid = {4, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    b.loop(4).alu(5).endLoop();
+    k.program = b.build();
+
+    const RunResult r = runKernel(cfg(), k);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_DOUBLE_EQ(r.stats.sumBySuffix(".l1d.access"), 0.0);
+    EXPECT_DOUBLE_EQ(r.l1MissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.l2MissRate(), 0.0);
+    EXPECT_DOUBLE_EQ(r.dramRowHitRate(), 0.0);
+}
+
 TEST(Runner, SweepReturnsOneResultPerLimit)
 {
     const auto sweep = sweepCtaLimit(cfg(), kernel(), 4);

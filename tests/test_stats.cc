@@ -33,6 +33,17 @@ TEST(StatSet, MissingStatReadsZero)
     EXPECT_DOUBLE_EQ(s.get("nope"), 0.0);
 }
 
+TEST(StatSet, GetOrUsesFallbackOnlyWhenAbsent)
+{
+    StatSet s;
+    s.set("present", 2.0);
+    EXPECT_DOUBLE_EQ(s.getOr("present", 7.0), 2.0);
+    EXPECT_DOUBLE_EQ(s.getOr("absent", 7.0), 7.0);
+    // A stat explicitly set to 0 is present, not missing.
+    s.set("zero", 0.0);
+    EXPECT_DOUBLE_EQ(s.getOr("zero", 7.0), 0.0);
+}
+
 TEST(StatSet, RequireDiesOnMissing)
 {
     StatSet s;

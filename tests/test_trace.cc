@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the event tracer: ring-buffer semantics, the hooks wired
+ * through the simulator, and the Chrome trace_event JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/runner.hh"
+#include "kernel/program_builder.hh"
+#include "obs/json.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+
+namespace bsched {
+namespace {
+
+GpuConfig
+cfg(CtaSchedKind cta_sched)
+{
+    GpuConfig c = makeConfig(WarpSchedKind::GTO, cta_sched);
+    c.numCores = 2;
+    c.numMemPartitions = 2;
+    return c;
+}
+
+/** A small memory-heavy kernel so every hook class has a chance to fire. */
+KernelInfo
+kernel()
+{
+    KernelInfo k;
+    k.name = "traced";
+    k.grid = {12, 1, 1};
+    k.cta = {64, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder b;
+    MemPattern in;
+    in.kind = AccessKind::Strided;
+    in.strideElems = 8;
+    in.base = 0x1000000;
+    const auto i = b.pattern(in);
+    b.loop(6).load(i).alu(3).endLoop();
+    k.program = b.build();
+    return k;
+}
+
+TEST(Tracer, TrackLayout)
+{
+    const Tracer t(4, 2);
+    EXPECT_EQ(t.coreTrack(3), 3u);
+    EXPECT_EQ(t.partitionTrack(0), 4u);
+    EXPECT_EQ(t.gpuTrack(), 6u);
+    EXPECT_EQ(t.numTracks(), 7u);
+    EXPECT_EQ(t.trackName(0), "core0");
+    EXPECT_EQ(t.trackName(5), "part1");
+    EXPECT_EQ(t.trackName(6), "gpu");
+}
+
+TEST(Tracer, RingDropsOldestWhenFull)
+{
+    Tracer t(1, 1, 4);
+    for (int i = 0; i < 6; ++i) {
+        TraceEvent e;
+        e.cycle = static_cast<Cycle>(i);
+        e.kind = TraceEventKind::CtaDispatch;
+        t.record(0, e);
+    }
+    EXPECT_EQ(t.recorded(), 6u);
+    EXPECT_EQ(t.dropped(), 2u);
+    const auto events = t.events(0);
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest first, and the two oldest records were evicted.
+    EXPECT_EQ(events.front().cycle, 2u);
+    EXPECT_EQ(events.back().cycle, 5u);
+}
+
+TEST(Tracer, SimulationEmitsKernelAndCtaEvents)
+{
+    const GpuConfig config = cfg(CtaSchedKind::RoundRobin);
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    runKernel(config, kernel(), Observer{&tracer, nullptr});
+
+    const auto launches = tracer.eventsOfKind(TraceEventKind::KernelLaunch);
+    ASSERT_EQ(launches.size(), 1u);
+    EXPECT_EQ(launches[0].arg0, 12);
+
+    const auto retires = tracer.eventsOfKind(TraceEventKind::KernelRetire);
+    ASSERT_EQ(retires.size(), 1u);
+    EXPECT_GT(retires[0].duration, 0u);
+
+    const auto dispatches = tracer.eventsOfKind(TraceEventKind::CtaDispatch);
+    const auto completes = tracer.eventsOfKind(TraceEventKind::CtaComplete);
+    EXPECT_EQ(dispatches.size(), 12u);
+    EXPECT_EQ(completes.size(), 12u);
+    for (const TraceEvent& e : completes) {
+        EXPECT_GT(e.duration, 0u);
+        EXPECT_GE(e.cycle, e.duration);
+    }
+}
+
+TEST(Tracer, LcsRunEmitsWindowCloseWithChosenNopt)
+{
+    const GpuConfig config = cfg(CtaSchedKind::Lazy);
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    const RunResult r = runKernel(config, kernel(), Observer{&tracer, nullptr});
+
+    const auto closes = tracer.eventsOfKind(TraceEventKind::LcsWindowClose);
+    ASSERT_FALSE(closes.empty());
+    for (const TraceEvent& e : closes) {
+        EXPECT_GE(e.arg0, 1);          // chosen n_opt
+        EXPECT_LE(e.arg0, e.arg1);     // n_opt <= n_max
+        EXPECT_EQ(e.kernelId, 0);
+    }
+    // The trace must agree with the run's own stats.
+    EXPECT_EQ(closes.size(), r.stats.namesBySuffix(".n_opt").size());
+}
+
+TEST(Tracer, BcsRunEmitsPairFormEvents)
+{
+    const GpuConfig config = cfg(CtaSchedKind::Block);
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    runKernel(config, kernel(), Observer{&tracer, nullptr});
+
+    const auto pairs = tracer.eventsOfKind(TraceEventKind::BcsPairForm);
+    ASSERT_FALSE(pairs.empty());
+    for (const TraceEvent& e : pairs)
+        EXPECT_GE(e.arg1, 2); // block size actually dispatched
+}
+
+TEST(Tracer, ChromeExportIsValidJsonWithSchema)
+{
+    const GpuConfig config = cfg(CtaSchedKind::Lazy);
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    IntervalSampler sampler(64);
+    runKernel(config, kernel(), Observer{&tracer, &sampler});
+
+    std::ostringstream os;
+    tracer.writeChromeTrace(os, &sampler);
+    const JsonValue doc = parseJson(os.str());
+
+    ASSERT_TRUE(doc.has("traceEvents"));
+    ASSERT_TRUE(doc.has("otherData"));
+    EXPECT_EQ(doc.at("otherData").at("schema").asString(),
+              "bsched-trace-v1");
+    EXPECT_EQ(doc.at("otherData").at("cycle_unit").asString(), "us");
+
+    bool saw_window_close = false;
+    bool saw_cta_dispatch = false;
+    bool saw_counter = false;
+    for (const JsonValue& event : doc.at("traceEvents").asArray()) {
+        const std::string& ph = event.at("ph").asString();
+        if (ph == "M")
+            continue;
+        ASSERT_TRUE(event.has("ts"));
+        ASSERT_TRUE(event.has("pid"));
+        if (ph == "C") {
+            saw_counter = true;
+            continue;
+        }
+        const std::string& name = event.at("name").asString();
+        if (name == "lcs.window_close") {
+            saw_window_close = true;
+            EXPECT_EQ(event.at("ph").asString(), "i");
+            EXPECT_TRUE(event.has("s"));
+        }
+        if (name == "cta.dispatch")
+            saw_cta_dispatch = true;
+        if (ph == "X") {
+            EXPECT_GE(event.at("dur").asNumber(), 0.0);
+        }
+    }
+    EXPECT_TRUE(saw_window_close);
+    EXPECT_TRUE(saw_cta_dispatch);
+    EXPECT_TRUE(saw_counter);
+}
+
+TEST(Tracer, DisabledObserverChangesNothing)
+{
+    const GpuConfig config = cfg(CtaSchedKind::Lazy);
+    const RunResult plain = runKernel(config, kernel());
+
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    IntervalSampler sampler(64);
+    const RunResult observed =
+        runKernel(config, kernel(), Observer{&tracer, &sampler});
+
+    // Observation must not perturb the simulation.
+    EXPECT_EQ(plain.cycles, observed.cycles);
+    EXPECT_EQ(plain.instrs, observed.instrs);
+    EXPECT_DOUBLE_EQ(plain.ipc, observed.ipc);
+}
+
+} // namespace
+} // namespace bsched
