@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
@@ -55,6 +56,12 @@ parseArgs(int argc, char** argv)
             opts.tracePath = next("--trace");
         } else if (std::strncmp(arg, "--trace=", 8) == 0) {
             opts.tracePath = arg + 8;
+        } else if (std::strcmp(arg, "--profile") == 0) {
+            opts.profilePath = next("--profile");
+        } else if (std::strncmp(arg, "--profile=", 10) == 0) {
+            opts.profilePath = arg + 10;
+        } else if (std::strcmp(arg, "--progress") == 0) {
+            opts.progress = true;
         } else if (std::strcmp(arg, "--emit-json") == 0) {
             opts.emitJsonPath = next("--emit-json");
         } else if (std::strncmp(arg, "--emit-json=", 12) == 0) {
@@ -72,10 +79,17 @@ parseArgs(int argc, char** argv)
         } else {
             fatal("unknown argument '", arg,
                   "' (figures accept --jobs N, --trace FILE, "
-                  "--emit-json FILE, --sample-every N, --log LEVEL)");
+                  "--profile FILE, --emit-json FILE, --sample-every N, "
+                  "--progress, --log LEVEL)");
         }
     }
     opts.jobs = resolveJobs(requested);
+    if (!opts.progress) {
+        const char* env = std::getenv("BSCHED_PROGRESS");
+        opts.progress = env != nullptr && *env != '\0' &&
+            std::strcmp(env, "0") != 0;
+    }
+    setHarnessProgress(opts.progress);
     return opts;
 }
 
@@ -99,28 +113,50 @@ writeReport(const BenchOptions& opts, const BenchReport& report)
 }
 
 void
-writeTraceArtifact(const BenchOptions& opts, const GpuConfig& config,
-                   const KernelInfo& kernel, const std::string& label)
+writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
+                  const KernelInfo& kernel, const std::string& label)
 {
-    if (opts.tracePath.empty())
+    const bool want_trace = !opts.tracePath.empty();
+    const bool want_profile = !opts.profilePath.empty();
+    if (!want_trace && !want_profile)
         return;
+
     const Cycle period =
         opts.sampleEvery > 0 ? opts.sampleEvery : kDefaultSamplePeriod;
     Tracer tracer(config.numCores, config.numMemPartitions);
     IntervalSampler sampler(period);
-    runKernel(config, kernel, Observer{&tracer, &sampler});
-    const std::size_t bytes =
-        writeFile(opts.tracePath, [&](std::ostream& os) {
-            tracer.writeChromeTrace(os, &sampler);
-        });
-    std::fprintf(stderr, "wrote %s (%zu bytes, %s, %llu events",
-                 opts.tracePath.c_str(), bytes, label.c_str(),
-                 static_cast<unsigned long long>(tracer.recorded()));
-    if (tracer.dropped() > 0) {
-        std::fprintf(stderr, ", %llu dropped",
-                     static_cast<unsigned long long>(tracer.dropped()));
+    CycleProfiler profiler;
+    Observer obs;
+    if (want_trace) {
+        obs.tracer = &tracer;
+        obs.sampler = &sampler;
     }
-    std::fprintf(stderr, ")\n");
+    if (want_profile)
+        obs.profiler = &profiler;
+    runKernel(config, kernel, obs);
+
+    if (want_trace) {
+        const std::size_t bytes =
+            writeFile(opts.tracePath, [&](std::ostream& os) {
+                tracer.writeChromeTrace(os, &sampler);
+            });
+        std::fprintf(stderr, "wrote %s (%zu bytes, %s, %llu events",
+                     opts.tracePath.c_str(), bytes, label.c_str(),
+                     static_cast<unsigned long long>(tracer.recorded()));
+        if (tracer.dropped() > 0) {
+            std::fprintf(stderr, ", %llu dropped",
+                         static_cast<unsigned long long>(tracer.dropped()));
+        }
+        std::fprintf(stderr, ")\n");
+    }
+    if (want_profile) {
+        const std::size_t bytes =
+            writeFile(opts.profilePath, [&](std::ostream& os) {
+                writeProfileJson(os, profiler, label);
+            });
+        std::fprintf(stderr, "wrote %s (%zu bytes, %s)\n",
+                     opts.profilePath.c_str(), bytes, label.c_str());
+    }
 }
 
 GridResults

@@ -1,9 +1,9 @@
 /**
  * @file
  * Shared scaffolding for the figure/table binaries: the common command
- * line (--jobs, --trace, --emit-json, --sample-every, --log) and the
- * workload × config grid runner every sweep figure uses instead of
- * hand-rolled serial loops.
+ * line (--jobs, --trace, --profile, --emit-json, --sample-every,
+ * --progress, --log) and the workload × config grid runner every sweep
+ * figure uses instead of hand-rolled serial loops.
  *
  * All figures accept `--jobs N` (also `--jobs=N` / `-jN`) or the
  * BSCHED_JOBS environment variable; the default is the hardware
@@ -34,19 +34,27 @@ struct BenchOptions
     /** --trace FILE: write a Chrome trace of one representative run. */
     std::string tracePath;
 
+    /** --profile FILE: write a `bsched-profile-v1` cycle-accounting
+     *  profile of one representative run. */
+    std::string profilePath;
+
     /** --emit-json FILE: write the figure's BenchReport as JSON. */
     std::string emitJsonPath;
 
     /** --sample-every N: interval-sampler period for the traced run. */
     Cycle sampleEvery = 0;
+
+    /** --progress: stderr heartbeat for long grid sweeps. */
+    bool progress = false;
 };
 
 /**
  * Parse the shared bench command line. Recognizes "--jobs N" /
- * "--jobs=N" / "-jN", "--trace FILE", "--emit-json FILE",
- * "--sample-every N" and "--log LEVEL" (also the BSCHED_LOG
- * environment variable); anything else is fatal() so a typo doesn't
- * silently fall back to defaults.
+ * "--jobs=N" / "-jN", "--trace FILE", "--profile FILE",
+ * "--emit-json FILE", "--sample-every N", "--progress" (also the
+ * BSCHED_PROGRESS environment variable) and "--log LEVEL" (also
+ * BSCHED_LOG); anything else is fatal() so a typo doesn't silently
+ * fall back to defaults.
  */
 BenchOptions parseArgs(int argc, char** argv);
 
@@ -60,13 +68,18 @@ unsigned parseJobs(int argc, char** argv);
 void writeReport(const BenchOptions& opts, const BenchReport& report);
 
 /**
- * Honour --trace: re-run one representative simulation point with a
- * Tracer (and an IntervalSampler when --sample-every is set, or at a
- * default period otherwise) attached, and write the Chrome trace JSON
- * to opts.tracePath. No-op when --trace was not given.
+ * Honour --trace and --profile: re-run one representative simulation
+ * point with the requested observers attached — a Tracer plus an
+ * IntervalSampler (period --sample-every, default 512) for --trace, a
+ * CycleProfiler for --profile — and write the Chrome trace JSON to
+ * opts.tracePath and/or the `bsched-profile-v1` JSON to
+ * opts.profilePath. When both are requested the same single re-run
+ * feeds both artifacts. No-op when neither flag was given; the re-run
+ * is serial and separate from the measured grid, so artifacts never
+ * perturb the parallel sweep.
  */
-void writeTraceArtifact(const BenchOptions& opts, const GpuConfig& config,
-                        const KernelInfo& kernel, const std::string& label);
+void writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
+                       const KernelInfo& kernel, const std::string& label);
 
 /** Results of a workload × config sweep, workload-major. */
 struct GridResults

@@ -84,7 +84,7 @@ main(int argc, char** argv)
     std::printf("%s", table.toText().c_str());
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, configs[2], makeWorkload("hs"),
+    bench::writeRunArtifacts(opts, configs[2], makeWorkload("hs"),
                               "hs/bcs2+baws");
     return 0;
 }

@@ -72,6 +72,6 @@ main(int argc, char** argv)
                      geomean(control_speedups));
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, bcs, makeWorkload("hs"), "hs/bcs");
+    bench::writeRunArtifacts(opts, bcs, makeWorkload("hs"), "hs/bcs");
     return 0;
 }

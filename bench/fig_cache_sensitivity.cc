@@ -67,7 +67,7 @@ main(int argc, char** argv)
                 "fits and LCS is neutral.\n");
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, configs[1], makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, configs[1], makeWorkload("kmeans"),
                               "kmeans/8kb/lcs");
     return 0;
 }

@@ -87,7 +87,7 @@ main(int argc, char** argv)
                 "strictly additive.\n");
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, configs[3], makeWorkload("srad"),
+    bench::writeRunArtifacts(opts, configs[3], makeWorkload("srad"),
                               "srad/lcs+bcs+baws");
     return 0;
 }

@@ -66,7 +66,7 @@ main(int argc, char** argv)
                 "Nmax,\ntype-3 rows peak below Nmax and then decline.\n");
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, base, makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, base, makeWorkload("kmeans"),
                               "kmeans/base");
     return 0;
 }

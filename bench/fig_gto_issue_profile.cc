@@ -100,7 +100,7 @@ main(int argc, char** argv)
                 "count.\n");
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(
+    bench::writeRunArtifacts(
         opts, makeConfig(WarpSchedKind::GTO, CtaSchedKind::RoundRobin),
         makeWorkload("kmeans"), "kmeans/gto");
     return 0;

@@ -87,7 +87,7 @@ main(int argc, char** argv)
     std::printf("%s", table.toText().c_str());
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, configs[1], makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, configs[1], makeWorkload("kmeans"),
                               "kmeans/first-cta-done");
     return 0;
 }

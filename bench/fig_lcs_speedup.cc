@@ -69,7 +69,7 @@ main(int argc, char** argv)
     report.addMetric("geomean.speedup_lcs", geomean(lcs_speedups));
     report.addMetric("geomean.speedup_oracle", geomean(oracle_speedups));
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, lcs, makeWorkload("srad"),
+    bench::writeRunArtifacts(opts, lcs, makeWorkload("srad"),
                               "srad/lcs");
     return 0;
 }

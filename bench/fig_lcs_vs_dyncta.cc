@@ -61,7 +61,7 @@ main(int argc, char** argv)
     report.addMetric("geomean.speedup_dyncta", geomean(s_dyn));
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, dyn, makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, dyn, makeWorkload("kmeans"),
                               "kmeans/dyncta");
     return 0;
 }

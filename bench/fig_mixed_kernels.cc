@@ -131,7 +131,7 @@ main(int argc, char** argv)
     report.addMetric("geomean.speedup_spatial", geomean(spatial_speedups));
     report.addMetric("geomean.speedup_mixed", geomean(mixed_speedups));
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, config, makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, config, makeWorkload("kmeans"),
                               "kmeans/base");
     return 0;
 }

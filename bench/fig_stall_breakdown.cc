@@ -1,0 +1,160 @@
+/**
+ * @file
+ * E-profile — the paper's motivation, seen through cycle accounting:
+ * sweep the static per-core CTA limit for one workload of each type and
+ * decompose every scheduler-slot cycle into the profiler's exclusive
+ * stall categories. For memory-intensive (Type-2/3) kernels the
+ * memory-attributed share (`mem_structural + scoreboard`) keeps growing
+ * past the CTA count LCS chooses — maximum residency buys TLP that the
+ * memory system immediately taxes back, which is *why* fewer CTAs run
+ * faster. Compute-bound Type-1 kernels show a flat, pipeline-dominated
+ * breakdown instead.
+ *
+ * Reproduces: the motivation analysis (Section 3) with stall
+ * attribution instead of IPC alone.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hh"
+#include "harness/parallel_runner.hh"
+#include "harness/runner.hh"
+#include "kernel/occupancy.hh"
+#include "obs/profile.hh"
+#include "sim/log.hh"
+#include "sim/table.hh"
+#include "workloads/suite.hh"
+
+namespace {
+
+using namespace bsched;
+
+/** One profiled sweep point: the run plus its machine-wide counts. */
+struct ProfiledPoint
+{
+    RunResult result;
+    SlotCounts counts;
+};
+
+/**
+ * Run @p kernel at static CTA limit @p limit with a CycleProfiler
+ * attached and check the conservation invariant before returning.
+ */
+ProfiledPoint
+profiledRun(GpuConfig config, const KernelInfo& kernel,
+            std::uint32_t limit)
+{
+    config.staticCtaLimit = limit;
+    CycleProfiler profiler;
+    ProfiledPoint point;
+    point.result = runKernel(config, kernel, Observer{
+        nullptr, nullptr, &profiler});
+    point.counts = profiler.total();
+    const double slot_cycles =
+        point.result.stats.sumBySuffix(".active_cycles") *
+        config.numSchedulersPerCore;
+    if (static_cast<double>(point.counts.total()) != slot_cycles) {
+        fatal("fig_stall_breakdown: conservation violated for ",
+              kernel.name, "/n", limit, ": ", point.counts.total(),
+              " slot cycles accounted vs ", slot_cycles, " expected");
+    }
+    return point;
+}
+
+/**
+ * The CTA limit LCS converges to for @p kernel: the median of the
+ * per-core `lcs.coreC.k0.n_opt` decisions of one LCS run.
+ */
+std::uint32_t
+lcsChosenLimit(const GpuConfig& base, const KernelInfo& kernel)
+{
+    GpuConfig config = base;
+    config.ctaSched = CtaSchedKind::Lazy;
+    const RunResult result = runKernel(config, kernel);
+    std::vector<double> decisions;
+    for (const auto& [name, value] : result.stats.entries()) {
+        if (name.rfind("lcs.core", 0) == 0 &&
+            name.size() >= 6 &&
+            name.compare(name.size() - 6, 6, ".n_opt") == 0) {
+            decisions.push_back(value);
+        }
+    }
+    if (decisions.empty())
+        return 0;
+    std::sort(decisions.begin(), decisions.end());
+    return static_cast<std::uint32_t>(decisions[decisions.size() / 2]);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bench::BenchOptions opts = bench::parseArgs(argc, argv);
+    const GpuConfig base = makeConfig(WarpSchedKind::GTO,
+                                      CtaSchedKind::RoundRobin);
+
+    // One workload per paper type plus a second Type-3: the stall mix,
+    // not just the IPC curve, is what separates the classes.
+    const std::vector<std::string> names = {"bp", "srad", "kmeans", "bfs"};
+
+    std::printf("E-profile: issue-slot stall breakdown vs CTAs/core "
+                "(GTO, RR CTA scheduler; %u jobs)\n\n",
+                opts.jobs);
+
+    BenchReport report("fig_stall_breakdown");
+    const ParallelRunner runner(opts.jobs);
+    for (const std::string& name : names) {
+        const KernelInfo kernel = makeWorkload(name);
+        const std::uint32_t n_max = maxCtasPerCore(base, kernel);
+        const std::uint32_t n_lcs = lcsChosenLimit(base, kernel);
+
+        const std::vector<ProfiledPoint> sweep =
+            runner.map<ProfiledPoint>(n_max, [&](std::size_t i) {
+                return profiledRun(base, kernel,
+                                   static_cast<std::uint32_t>(i) + 1);
+            });
+
+        Table table(name + " (" + toString(kernel.typeClass) +
+                    "): slot-cycle shares by CTA limit");
+        table.setHeader({"N", "ipc", "issued", "barrier", "scoreboard",
+                         "mem_struct", "pipeline", "empty", "mem-attr",
+                         ""});
+        for (std::uint32_t n = 1; n <= n_max; ++n) {
+            const ProfiledPoint& point = sweep[n - 1];
+            const double total =
+                static_cast<double>(point.counts.total());
+            auto share = [&](SlotCat cat) {
+                return fmt(static_cast<double>(point.counts[cat]) / total,
+                           3);
+            };
+            const double mem_share =
+                static_cast<double>(point.counts.memAttributed()) / total;
+            table.addRow({std::to_string(n), fmt(point.result.ipc, 2),
+                          share(SlotCat::Issued), share(SlotCat::Barrier),
+                          share(SlotCat::Scoreboard),
+                          share(SlotCat::MemStructural),
+                          share(SlotCat::Pipeline), share(SlotCat::Empty),
+                          fmt(mem_share, 3),
+                          n == n_lcs ? "<- LCS N_opt" : ""});
+            report.addRow(name + "/n" + std::to_string(n), point.result);
+            report.addMetric(name + ".mem_share.n" + std::to_string(n),
+                             mem_share);
+        }
+        report.addMetric(name + ".n_max", n_max);
+        report.addMetric(name + ".lcs_n_opt", n_lcs);
+        std::printf("%s\n", table.toText().c_str());
+    }
+
+    std::printf("Reading: for Type-2/3 rows the mem-attr share "
+                "(scoreboard + mem_struct) keeps climbing past the LCS "
+                "pick —\nextra CTAs past N_opt only deepen the memory "
+                "bottleneck; Type-1 rows stay pipeline-bound and flat.\n");
+
+    bench::writeReport(opts, report);
+    bench::writeRunArtifacts(opts, base, makeWorkload("kmeans"),
+                             "kmeans/base");
+    return 0;
+}

@@ -53,7 +53,7 @@ main(int argc, char** argv)
     report.addMetric("geomean.gto_over_lrr", geomean(ratios));
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, gto, makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, gto, makeWorkload("kmeans"),
                               "kmeans/gto");
     return 0;
 }

@@ -10,6 +10,12 @@
  * count, verifies the per-point results are byte-identical, and reports
  * points/sec for both. This is the quickest way to see what the
  * parallel harness buys on a given machine.
+ *
+ * `--emit-json FILE` additionally writes a `bsched-simspeed-v1`
+ * artifact: the sim rate of the small kernel bare, with the
+ * tracer+sampler stack, and with the cycle-accounting profiler. The
+ * committed bench/BENCH_simspeed.json baseline is produced this way and
+ * CI's perf-smoke step diffs a fresh artifact against it (warn-only).
  */
 
 #include <benchmark/benchmark.h>
@@ -18,13 +24,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
 #include "gpu/gpu.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
 #include "mem/cache.hh"
+#include "obs/profile.hh"
 #include "obs/sampler.hh"
+#include "obs/sink.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
@@ -96,6 +105,32 @@ BM_SimulateSmallKernelObserved(benchmark::State& state)
 }
 BENCHMARK(BM_SimulateSmallKernelObserved)->Unit(benchmark::kMillisecond);
 
+/**
+ * The same kernel with only the cycle-accounting profiler attached.
+ * Comparing against BM_SimulateSmallKernel bounds the per-slot
+ * classification overhead of --profile runs; the disabled path — a
+ * null profiler pointer — is BM_SimulateSmallKernel itself.
+ */
+void
+BM_SimulateSmallKernelProfiled(benchmark::State& state)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = smallKernel();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        CycleProfiler profiler;
+        Gpu gpu(config, Observer{nullptr, nullptr, &profiler});
+        gpu.launchKernel(kernel);
+        gpu.run();
+        benchmark::DoNotOptimize(profiler.total().total());
+        cycles += gpu.cycle();
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallKernelProfiled)->Unit(benchmark::kMillisecond);
+
 void
 BM_CacheAccess(benchmark::State& state)
 {
@@ -140,13 +175,13 @@ BM_WorkloadConstruction(benchmark::State& state)
 BENCHMARK(BM_WorkloadConstruction)->Unit(benchmark::kMillisecond);
 
 /**
- * Pull `--jobs N` / `--jobs=N` / `-jN` out of the command line (so the
- * rest can go to benchmark::Initialize) and return the requested count,
- * 0 if absent. Unlike bench::parseJobs this is lenient about unknown
- * arguments — google-benchmark owns them here.
+ * Pull `--jobs N` / `--jobs=N` / `-jN` and `--emit-json FILE` out of the
+ * command line (so the rest can go to benchmark::Initialize). Unlike
+ * bench::parseJobs this is lenient about unknown arguments —
+ * google-benchmark owns them here.
  */
 unsigned
-extractJobsArg(int& argc, char** argv)
+extractJobsArg(int& argc, char** argv, std::string& emit_json)
 {
     unsigned requested = 0;
     int out = 1;
@@ -159,6 +194,13 @@ extractJobsArg(int& argc, char** argv)
             value = arg + 7;
         else if (std::strncmp(arg, "-j", 2) == 0 && arg[2] != '\0')
             value = arg + 2;
+        else if (std::strcmp(arg, "--emit-json") == 0 && i + 1 < argc) {
+            emit_json = argv[++i];
+            continue;
+        } else if (std::strncmp(arg, "--emit-json=", 12) == 0) {
+            emit_json = arg + 12;
+            continue;
+        }
         if (value != nullptr) {
             const long parsed = std::strtol(value, nullptr, 10);
             if (parsed <= 0)
@@ -170,6 +212,112 @@ extractJobsArg(int& argc, char** argv)
     }
     argc = out;
     return requested;
+}
+
+/** One measured simulator configuration for the simspeed artifact. */
+struct RateSample
+{
+    double simCyclesPerSec = 0.0;
+    std::uint64_t cyclesPerRep = 0;
+    double wallSec = 0.0;
+};
+
+/** Which observers the measured runs attach. */
+enum class ObsMode
+{
+    Plain,    ///< no observers — the null-pointer disabled path
+    Observed, ///< tracer + interval sampler (as --trace runs)
+    Profiled  ///< cycle-accounting profiler only (as --profile runs)
+};
+
+/**
+ * Time @p reps simulations of @p kernel with the observers selected by
+ * @p mode (after one untimed warmup run) and return the achieved
+ * simulated-cycles-per-wall-second.
+ */
+RateSample
+measureSimRate(const GpuConfig& config, const KernelInfo& kernel, int reps,
+               ObsMode mode)
+{
+    using Clock = std::chrono::steady_clock;
+    auto simulate = [&]() -> std::uint64_t {
+        Tracer tracer(config.numCores, config.numMemPartitions);
+        IntervalSampler sampler(512);
+        CycleProfiler profiler;
+        Observer obs;
+        if (mode == ObsMode::Observed) {
+            obs.tracer = &tracer;
+            obs.sampler = &sampler;
+        } else if (mode == ObsMode::Profiled) {
+            obs.profiler = &profiler;
+        }
+        Gpu gpu(config, obs);
+        gpu.launchKernel(kernel);
+        gpu.run();
+        return gpu.cycle();
+    };
+
+    RateSample sample;
+    sample.cyclesPerRep = simulate(); // warmup, also pins the cycle count
+    const Clock::time_point t0 = Clock::now();
+    std::uint64_t total_cycles = 0;
+    for (int rep = 0; rep < reps; ++rep)
+        total_cycles += simulate();
+    sample.wallSec =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    if (sample.wallSec > 0.0) {
+        sample.simCyclesPerSec =
+            static_cast<double>(total_cycles) / sample.wallSec;
+    }
+    return sample;
+}
+
+/**
+ * Write the `bsched-simspeed-v1` artifact: the sim rate of the small
+ * kernel with no observers, with the tracer+sampler stack, and with the
+ * cycle-accounting profiler, plus the enabled-path overhead ratios. CI's
+ * perf-smoke step compares a fresh artifact against the committed
+ * bench/BENCH_simspeed.json baseline (warn-only — absolute rates are
+ * machine-dependent).
+ */
+void
+writeSimspeedJson(const std::string& path)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = smallKernel();
+    constexpr int kReps = 5;
+    const RateSample plain =
+        measureSimRate(config, kernel, kReps, ObsMode::Plain);
+    const RateSample observed =
+        measureSimRate(config, kernel, kReps, ObsMode::Observed);
+    const RateSample profiled =
+        measureSimRate(config, kernel, kReps, ObsMode::Profiled);
+
+    auto mode_json = [](std::ostream& os, const char* name,
+                        const RateSample& s, bool last) {
+        os << "    \"" << name << "\": {\"sim_cycles_per_s\": "
+           << jsonNumber(s.simCyclesPerSec) << ", \"cycles_per_rep\": "
+           << s.cyclesPerRep << ", \"wall_s\": " << jsonNumber(s.wallSec)
+           << "}" << (last ? "\n" : ",\n");
+    };
+    auto ratio = [&](const RateSample& s) {
+        return plain.simCyclesPerSec > 0.0
+            ? s.simCyclesPerSec / plain.simCyclesPerSec
+            : 0.0;
+    };
+    const std::size_t bytes = writeFile(path, [&](std::ostream& os) {
+        os << "{\n  \"schema\": \"bsched-simspeed-v1\",\n"
+           << "  \"kernel\": \"" << jsonEscape(kernel.name) << "\",\n"
+           << "  \"reps\": " << kReps << ",\n  \"modes\": {\n";
+        mode_json(os, "plain", plain, false);
+        mode_json(os, "observed", observed, false);
+        mode_json(os, "profiled", profiled, true);
+        os << "  },\n  \"relative_rate\": {\"observed_vs_plain\": "
+           << jsonNumber(ratio(observed)) << ", \"profiled_vs_plain\": "
+           << jsonNumber(ratio(profiled)) << "}\n}\n";
+    });
+    std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), bytes);
 }
 
 /**
@@ -222,8 +370,12 @@ harnessSelfCheck(unsigned jobs)
 int
 main(int argc, char** argv)
 {
-    const unsigned jobs = bsched::resolveJobs(extractJobsArg(argc, argv));
+    std::string emit_json;
+    const unsigned jobs =
+        bsched::resolveJobs(extractJobsArg(argc, argv, emit_json));
     harnessSelfCheck(jobs);
+    if (!emit_json.empty())
+        writeSimspeedJson(emit_json);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -112,7 +112,7 @@ main(int argc, char** argv)
     report.addMetric("total", total);
 
     bench::writeReport(opts, report);
-    bench::writeTraceArtifact(opts, lcs, makeWorkload("kmeans"),
+    bench::writeRunArtifacts(opts, lcs, makeWorkload("kmeans"),
                               "kmeans/lcs");
     return 0;
 }

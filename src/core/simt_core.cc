@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernel/mem_pattern.hh"
+#include "obs/profile.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
 
@@ -197,6 +198,107 @@ SimtCore::warpReady(const Warp& warp, Cycle now) const
     return false;
 }
 
+IssueRefusal
+SimtCore::warpRefusal(const Warp& warp, Cycle now) const
+{
+    const Instr& instr = warp.cursor.instr(warp.kernel->program);
+    if (!warp.sb.canIssue(instr, now)) {
+        // A load-pending operand dominates: even if a fixed-latency
+        // result is also in flight, the warp resumes only when the
+        // memory system answers.
+        return warp.sb.blockedOnRelease(instr) ? IssueRefusal::WaitLoad
+                                               : IssueRefusal::WaitExec;
+    }
+    switch (instr.op) {
+      case Opcode::LdGlobal:
+      case Opcode::StGlobal:
+        if (memIssuedThisCycle_ >= config_.ldstUnits)
+            return IssueRefusal::MemPort;
+        if (ldst_.admitRefusal(instr.op == Opcode::StGlobal) !=
+            LdstRefusal::None) {
+            return IssueRefusal::MemUnit;
+        }
+        return IssueRefusal::None;
+      case Opcode::LdShared:
+      case Opcode::StShared:
+        if (memIssuedThisCycle_ >= config_.ldstUnits)
+            return IssueRefusal::MemPort;
+        if (smemBusyUntil_ > now)
+            return IssueRefusal::SmemBusy;
+        return IssueRefusal::None;
+      case Opcode::Sfu:
+        return sfuIssuedThisCycle_ < config_.sfuUnits
+            ? IssueRefusal::None
+            : IssueRefusal::SfuPort;
+      case Opcode::Alu:
+      case Opcode::Bar:
+      case Opcode::Exit:
+        return IssueRefusal::None;
+    }
+    return IssueRefusal::None;
+}
+
+void
+SimtCore::profileStalledSlot(std::size_t slot, Cycle now)
+{
+    // Classify one exclusive category for a slot that issued nothing.
+    // Priority when warps on the slot are blocked for different reasons:
+    // a structurally refused memory access (the warp *would* issue if
+    // the memory pipe had room) outranks a scoreboard wait on a load,
+    // which outranks execution-pipeline waits — the categories closest
+    // to an actionable resource bottleneck win the slot.
+    bool any_live = false;
+    int barrier_kernel = kInvalidId;
+    int mem_kernel = kInvalidId;
+    int sb_kernel = kInvalidId;
+    int pipe_kernel = kInvalidId;
+    for (std::size_t w = slot; w < warps_.size();
+         w += schedulers_.size()) {
+        const Warp& warp = warps_[w];
+        if (!warp.live())
+            continue;
+        any_live = true;
+        if (warp.atBarrier) {
+            if (barrier_kernel == kInvalidId)
+                barrier_kernel = warp.kernelId;
+            continue;
+        }
+        switch (warpRefusal(warp, now)) {
+          case IssueRefusal::MemPort:
+          case IssueRefusal::MemUnit:
+          case IssueRefusal::SmemBusy:
+            if (mem_kernel == kInvalidId)
+                mem_kernel = warp.kernelId;
+            break;
+          case IssueRefusal::WaitLoad:
+            if (sb_kernel == kInvalidId)
+                sb_kernel = warp.kernelId;
+            break;
+          case IssueRefusal::WaitExec:
+          case IssueRefusal::SfuPort:
+            if (pipe_kernel == kInvalidId)
+                pipe_kernel = warp.kernelId;
+            break;
+          case IssueRefusal::None:
+            // Unreachable for a stalled slot: a refusal-free warp would
+            // have been in the ready set and the slot would have issued.
+            if (pipe_kernel == kInvalidId)
+                pipe_kernel = warp.kernelId;
+            break;
+        }
+    }
+    if (!any_live)
+        profiler_->recordSlot(id_, kInvalidId, SlotCat::Empty);
+    else if (mem_kernel != kInvalidId)
+        profiler_->recordSlot(id_, mem_kernel, SlotCat::MemStructural);
+    else if (sb_kernel != kInvalidId)
+        profiler_->recordSlot(id_, sb_kernel, SlotCat::Scoreboard);
+    else if (pipe_kernel != kInvalidId)
+        profiler_->recordSlot(id_, pipe_kernel, SlotCat::Pipeline);
+    else
+        profiler_->recordSlot(id_, barrier_kernel, SlotCat::Barrier);
+}
+
 void
 SimtCore::issueFrom(int warp_id, Cycle now)
 {
@@ -299,6 +401,20 @@ SimtCore::completeCta(int hw_cta, Cycle now)
         if (warp.valid && warp.hwCta == hw_cta)
             warp.clear();
     }
+    // If this was the block's last resident CTA, let the warp schedulers
+    // drop their per-block state (keeps BAWS's rotation map bounded by
+    // the number of *live* blocks instead of every block ever seen).
+    bool block_live = false;
+    for (const HwCta& peer : ctas_) {
+        if (peer.valid && &peer != &cta && peer.blockSeq == cta.blockSeq) {
+            block_live = true;
+            break;
+        }
+    }
+    if (!block_live) {
+        for (auto& sched : schedulers_)
+            sched->notifyBlockRetired(cta.blockSeq);
+    }
     resources_.release(cta.footprint);
     kernels_[cta.kernelId].completedCtaIssued.push_back(cta.issued);
     completed_.push_back(
@@ -382,14 +498,23 @@ SimtCore::tick(Cycle now)
             if (warp.live() && !warp.atBarrier && warpReady(warp, now))
                 ready.push_back(static_cast<int>(w));
         }
-        if (ready.empty())
+        if (ready.empty()) {
+            if (profiler_ != nullptr)
+                profileStalledSlot(s, now);
             continue;
+        }
         const int chosen = schedulers_[s]->pick(ready, warps_);
         if (chosen < 0)
             panic(name_, ": scheduler returned no warp from ready set");
         // Notify before issuing: issueFrom can retire the warp's CTA and
         // recycle the slot, after which its metadata is gone.
         schedulers_[s]->notifyIssued(chosen, warps_);
+        if (profiler_ != nullptr) {
+            // Attribute before issueFrom for the same recycling reason.
+            profiler_->recordSlot(
+                id_, warps_[static_cast<std::size_t>(chosen)].kernelId,
+                SlotCat::Issued);
+        }
         issueFrom(chosen, now);
         issued_any = true;
     }
@@ -400,6 +525,8 @@ SimtCore::tick(Cycle now)
     } else {
         ++stallIdleCycles_;
     }
+    if (profiler_ != nullptr && !issued_any)
+        profiler_->recordNoIssueCycle(id_);
 }
 
 void

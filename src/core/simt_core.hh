@@ -26,6 +26,23 @@
 namespace bsched {
 
 class Tracer;
+class CycleProfiler;
+
+/**
+ * Why one warp could not issue this cycle — the reason warpReady()
+ * collapses to a bool. Produced by SimtCore::warpRefusal() on the
+ * profiling path only; the fast issue loop never computes it.
+ */
+enum class IssueRefusal : std::uint8_t
+{
+    None,     ///< the warp would issue
+    WaitLoad, ///< operand pending on an outstanding load (memory latency)
+    WaitExec, ///< operand pending on a fixed-latency ALU/SFU/smem result
+    MemPort,  ///< LD/ST issue ports already used this cycle
+    MemUnit,  ///< LD/ST unit refused admission (queue/outgoing/MSHR full)
+    SmemBusy, ///< shared-memory port serializing a bank-conflict replay
+    SfuPort,  ///< SFU issue ports already used this cycle
+};
 
 /** A CTA completion event reported to the CTA scheduler. */
 struct CtaDoneEvent
@@ -111,6 +128,21 @@ class SimtCore
     const std::vector<Warp>& warps() const { return warps_; }
     const LdstUnit& ldst() const { return ldst_; }
 
+    /** The per-slot warp schedulers (tests, introspection). */
+    const std::vector<std::unique_ptr<WarpScheduler>>& schedulers() const
+    {
+        return schedulers_;
+    }
+
+    /**
+     * Why @p warp cannot issue at @p now (IssueRefusal::None if it can).
+     * Must stay the exact reason-reporting mirror of warpReady(): the
+     * fast issue loop keeps the bool so the profiling-disabled path does
+     * no extra work, and the profiler calls this only for slots that
+     * failed to issue.
+     */
+    IssueRefusal warpRefusal(const Warp& warp, Cycle now) const;
+
     void addStats(StatSet& stats) const;
 
     /**
@@ -119,6 +151,14 @@ class SimtCore
      * bursts. Null detaches; the disabled cost is an untaken branch.
      */
     void setTracer(Tracer* tracer);
+
+    /**
+     * Attach the cycle-accounting profiler (observability): every
+     * scheduler-slot cycle while the core is active is classified into
+     * an exclusive stall category. Null detaches; the disabled cost is
+     * an untaken null-pointer branch per slot.
+     */
+    void setProfiler(CycleProfiler* profiler) { profiler_ = profiler; }
 
   private:
     struct HwCta
@@ -145,6 +185,8 @@ class SimtCore
 
     /** True if @p warp can issue its next instruction this cycle. */
     bool warpReady(const Warp& warp, Cycle now) const;
+    /** Classify a slot that issued nothing this cycle (profiler path). */
+    void profileStalledSlot(std::size_t slot, Cycle now);
     void issueFrom(int warp_id, Cycle now);
     void finishWarp(int warp_id, Cycle now);
     void completeCta(int hw_cta, Cycle now);
@@ -168,6 +210,7 @@ class SimtCore
     // Observability (null = disabled).
     Tracer* tracer_ = nullptr;
     std::uint32_t track_ = 0;
+    CycleProfiler* profiler_ = nullptr;
 
     // Per-cycle structural issue budgets.
     std::uint32_t memIssuedThisCycle_ = 0;

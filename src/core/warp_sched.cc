@@ -238,4 +238,12 @@ BawsScheduler::notifyIssued(int warp_id, const std::vector<Warp>& warps)
     rotate_[lastBlock_] = warp_id;
 }
 
+void
+BawsScheduler::notifyBlockRetired(std::uint64_t block)
+{
+    rotate_.erase(block);
+    if (lastBlock_ == block)
+        lastBlock_ = kNoBlock;
+}
+
 } // namespace bsched

@@ -47,6 +47,14 @@ class WarpScheduler
         (void)warps;
     }
 
+    /**
+     * Called by the core when the last resident CTA of dispatch-block
+     * @p block retires, so schedulers can drop per-block state. Without
+     * this, BAWS's per-block rotation map would grow with every block
+     * the core ever ran.
+     */
+    virtual void notifyBlockRetired(std::uint64_t block) { (void)block; }
+
     /** Clear greedy/rotation state (core reset). */
     virtual void reset() {}
 
@@ -117,7 +125,11 @@ class BawsScheduler : public WarpScheduler
     int pick(const std::vector<int>& ready,
              const std::vector<Warp>& warps) override;
     void notifyIssued(int warp_id, const std::vector<Warp>& warps) override;
+    void notifyBlockRetired(std::uint64_t block) override;
     void reset() override;
+
+    /** Live per-block rotation entries (bounded-growth regression test). */
+    std::size_t rotateEntries() const { return rotate_.size(); }
 
   private:
     static constexpr std::uint64_t kNoBlock = ~0ULL;

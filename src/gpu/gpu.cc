@@ -1,5 +1,6 @@
 #include "gpu/gpu.hh"
 
+#include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
@@ -22,6 +23,13 @@ Gpu::Gpu(const GpuConfig& config, Observer obs)
         for (auto& part : partitions_)
             part->setTracer(obs_.tracer);
         ctaSched_->setTracer(obs_.tracer);
+    }
+    if (obs_.profiler != nullptr) {
+        obs_.profiler->onAttach(config_.numCores,
+                                config_.numSchedulersPerCore,
+                                toString(config_.warpSched));
+        for (auto& core : cores_)
+            core->setProfiler(obs_.profiler);
     }
 }
 

@@ -1,7 +1,11 @@
 #include "harness/parallel_runner.hh"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -9,6 +13,65 @@
 #include "harness/thread_pool.hh"
 
 namespace bsched {
+
+namespace {
+
+std::atomic<bool> g_progress{false};
+
+/**
+ * Stderr heartbeat for one grid: thread-safe, rate-limited to one line
+ * per 100ms, always reporting the final point so "n/n" is never lost.
+ */
+class ProgressMeter
+{
+  public:
+    explicit ProgressMeter(std::size_t total)
+        : total_(total), start_(Clock::now()), lastPrint_(start_)
+    {}
+
+    void
+    completed()
+    {
+        const std::size_t done = ++done_;
+        const Clock::time_point now = Clock::now();
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (done != total_ &&
+            now - lastPrint_ < std::chrono::milliseconds(100)) {
+            return;
+        }
+        lastPrint_ = now;
+        const double secs =
+            std::chrono::duration<double>(now - start_).count();
+        const double rate =
+            secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+        std::fprintf(stderr, "harness: %zu/%zu points (%.1f points/s)%s",
+                     done, total_, rate, done == total_ ? "\n" : "\r");
+        std::fflush(stderr);
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    std::size_t total_;
+    std::atomic<std::size_t> done_{0};
+    std::mutex mutex_;
+    Clock::time_point start_;
+    Clock::time_point lastPrint_;
+};
+
+} // namespace
+
+void
+setHarnessProgress(bool enabled)
+{
+    g_progress.store(enabled, std::memory_order_relaxed);
+}
+
+bool
+harnessProgressEnabled()
+{
+    return g_progress.load(std::memory_order_relaxed);
+}
 
 // The lock-free contract of the grid runner: a point must be able to own
 // private copies of its inputs. If GpuConfig or KernelInfo ever grow
@@ -44,16 +107,26 @@ ParallelRunner::forEachIndex(std::size_t n,
 {
     if (n == 0)
         return;
+    const bool progress = harnessProgressEnabled();
+    ProgressMeter meter(n);
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(jobs_, n));
     if (workers <= 1) {
-        for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t i = 0; i < n; ++i) {
             fn(i);
+            if (progress)
+                meter.completed();
+        }
         return;
     }
     ThreadPool pool(workers);
-    for (std::size_t i = 0; i < n; ++i)
-        pool.submit([&fn, i] { fn(i); });
+    for (std::size_t i = 0; i < n; ++i) {
+        pool.submit([&fn, &meter, progress, i] {
+            fn(i);
+            if (progress)
+                meter.completed();
+        });
+    }
     pool.wait();
 }
 

@@ -44,6 +44,21 @@ struct SimPoint
  */
 unsigned resolveJobs(unsigned requested = 0);
 
+/**
+ * Enable/disable the grid-progress heartbeat: when on, every
+ * ParallelRunner fan-out reports "completed/total points" to stderr,
+ * rate-limited to a few updates per second, with a closing line when
+ * the grid finishes. Off by default so CI logs stay clean; the bench
+ * binaries turn it on with `--progress` (or BSCHED_PROGRESS=1). Like
+ * the log level, this is a process-wide knob that must be set before
+ * runs start — it is read-only while a grid is in flight, which keeps
+ * the harness's no-shared-mutable-state contract intact.
+ */
+void setHarnessProgress(bool enabled);
+
+/** Current state of the heartbeat knob. */
+bool harnessProgressEnabled();
+
 /** Fans independent simulation points across a worker pool. */
 class ParallelRunner
 {

@@ -13,14 +13,20 @@ namespace bsched {
 
 class Tracer;
 class IntervalSampler;
+class CycleProfiler;
 
 /** Non-owning observability hooks handed to Gpu at construction. */
 struct Observer
 {
     Tracer* tracer = nullptr;
     IntervalSampler* sampler = nullptr;
+    CycleProfiler* profiler = nullptr;
 
-    bool enabled() const { return tracer != nullptr || sampler != nullptr; }
+    bool enabled() const
+    {
+        return tracer != nullptr || sampler != nullptr ||
+            profiler != nullptr;
+    }
 };
 
 } // namespace bsched

@@ -1,0 +1,144 @@
+#include "obs/profile.hh"
+
+#include <ostream>
+
+#include "obs/sink.hh"
+#include "sim/log.hh"
+
+namespace bsched {
+
+const char*
+toString(SlotCat cat)
+{
+    switch (cat) {
+      case SlotCat::Issued:
+        return "issued";
+      case SlotCat::Barrier:
+        return "barrier";
+      case SlotCat::Scoreboard:
+        return "scoreboard";
+      case SlotCat::MemStructural:
+        return "mem_structural";
+      case SlotCat::Pipeline:
+        return "pipeline";
+      case SlotCat::Empty:
+        return "empty";
+    }
+    return "?";
+}
+
+void
+CycleProfiler::onAttach(std::uint32_t num_cores,
+                        std::uint32_t slots_per_core,
+                        const std::string& warp_sched)
+{
+    if (!cores_.empty() &&
+        (cores_.size() != num_cores || slotsPerCore_ != slots_per_core ||
+         warpSched_ != warp_sched)) {
+        fatal("cycle profiler: reattached to a different machine shape (",
+              cores_.size(), "x", slotsPerCore_, " ", warpSched_, " vs ",
+              num_cores, "x", slots_per_core, " ", warp_sched, ")");
+    }
+    cores_.resize(num_cores);
+    slotsPerCore_ = slots_per_core;
+    warpSched_ = warp_sched;
+}
+
+void
+CycleProfiler::recordSlot(std::uint32_t core, int kernel_id, SlotCat cat)
+{
+    CoreProfile& profile = cores_[core];
+    const std::size_t idx = static_cast<std::size_t>(cat);
+    profile.total.counts[idx] += 1;
+    if (kernel_id != kInvalidId)
+        profile.byKernel[kernel_id].counts[idx] += 1;
+}
+
+SlotCounts
+CycleProfiler::total() const
+{
+    SlotCounts sum;
+    for (const CoreProfile& core : cores_)
+        sum.accumulate(core.total);
+    return sum;
+}
+
+std::map<int, SlotCounts>
+CycleProfiler::kernelTotals() const
+{
+    std::map<int, SlotCounts> sum;
+    for (const CoreProfile& core : cores_) {
+        for (const auto& [kernel, counts] : core.byKernel)
+            sum[kernel].accumulate(counts);
+    }
+    return sum;
+}
+
+namespace {
+
+void
+writeCounts(std::ostream& os, const SlotCounts& counts)
+{
+    os << "{";
+    for (std::size_t i = 0; i < kNumSlotCats; ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\"" << toString(static_cast<SlotCat>(i))
+           << "\":" << counts.counts[i];
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+writeProfileJson(std::ostream& os, const CycleProfiler& prof,
+                 const std::string& label)
+{
+    os << "{\"schema\":\"bsched-profile-v1\",\"label\":\""
+       << jsonEscape(label) << "\",\"warp_sched\":\""
+       << jsonEscape(prof.warpSched())
+       << "\",\"slots_per_core\":" << prof.slotsPerCore()
+       << ",\"categories\":[";
+    for (std::size_t i = 0; i < kNumSlotCats; ++i) {
+        if (i > 0)
+            os << ",";
+        os << "\"" << toString(static_cast<SlotCat>(i)) << "\"";
+    }
+    os << "],\"total\":";
+    writeCounts(os, prof.total());
+    os << ",\"kernels\":[";
+    bool first = true;
+    for (const auto& [kernel, counts] : prof.kernelTotals()) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"kernel\":" << kernel << ",\"counts\":";
+        writeCounts(os, counts);
+        os << "}";
+    }
+    os << "],\"cores\":[";
+    for (std::uint32_t c = 0; c < prof.numCores(); ++c) {
+        if (c > 0)
+            os << ",";
+        const SlotCounts& counts = prof.core(c);
+        os << "\n{\"core\":" << c << ",\"slot_cycles\":" << counts.total()
+           << ",\"no_issue_cycles\":" << prof.noIssueCycles(c)
+           << ",\"counts\":";
+        writeCounts(os, counts);
+        os << ",\"kernels\":[";
+        bool k_first = true;
+        for (const auto& [kernel, k_counts] : prof.coreKernels(c)) {
+            if (!k_first)
+                os << ",";
+            k_first = false;
+            os << "{\"kernel\":" << kernel << ",\"counts\":";
+            writeCounts(os, k_counts);
+            os << "}";
+        }
+        os << "]}";
+    }
+    os << "]}\n";
+}
+
+} // namespace bsched

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Issue-slot cycle accounting — the fourth pillar of the observability
+ * subsystem.
+ *
+ * The two-bucket stall split the cores keep for DYNCTA
+ * (`stall_mem`/`stall_idle`, one pair per *core cycle*) cannot show
+ * *why* a memory-intensive kernel loses throughput past its optimal
+ * CTA count. The CycleProfiler classifies **every scheduler-slot
+ * cycle** on every active core into exclusive categories:
+ *
+ *  - `issued`          the slot issued an instruction
+ *  - `barrier`         every live warp on the slot waits at a barrier
+ *  - `scoreboard`      a warp is blocked on an in-flight load's
+ *                      register write (memory latency)
+ *  - `mem_structural`  a scoreboard-clear warp was refused by a memory
+ *                      structural resource (LD/ST port, LD/ST queue,
+ *                      MSHR file, outgoing queue, shared-memory port)
+ *  - `pipeline`        warps are between issues of a multi-cycle
+ *                      ALU/SFU/shared-memory op (finite-latency
+ *                      scoreboard wait or SFU port)
+ *  - `empty`           no live warp is assigned to the slot
+ *
+ * Counts aggregate per core and per kernel, and the profile records the
+ * warp-scheduler kind that produced it. The conservation invariant —
+ * the categories of each core sum exactly to
+ * `activeCycles × schedulersPerCore` — is pinned by a property test.
+ *
+ * Like the Tracer and the IntervalSampler, the profiler is owned by the
+ * caller and attached through Observer; with no profiler attached every
+ * hook in the core is a single untaken null-pointer branch.
+ */
+
+#ifndef BSCHED_OBS_PROFILE_HH
+#define BSCHED_OBS_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** Exclusive classification of one scheduler-slot cycle. */
+enum class SlotCat : std::uint8_t
+{
+    Issued = 0,
+    Barrier,
+    Scoreboard,
+    MemStructural,
+    Pipeline,
+    Empty,
+};
+
+/** Number of SlotCat values (array sizing). */
+inline constexpr std::size_t kNumSlotCats = 6;
+
+/** Stable category name used in the exported JSON ("mem_structural"). */
+const char* toString(SlotCat cat);
+
+/** Category totals of one aggregation bucket (core or kernel). */
+struct SlotCounts
+{
+    std::array<std::uint64_t, kNumSlotCats> counts{};
+
+    std::uint64_t
+    operator[](SlotCat cat) const
+    {
+        return counts[static_cast<std::size_t>(cat)];
+    }
+
+    /** All slot cycles in the bucket. */
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t sum = 0;
+        for (std::uint64_t c : counts)
+            sum += c;
+        return sum;
+    }
+
+    /** Slot cycles that did not issue (total minus `issued`). */
+    std::uint64_t
+    nonIssued() const
+    {
+        return total() - (*this)[SlotCat::Issued];
+    }
+
+    /** Memory-attributed stalls: `mem_structural + scoreboard`. */
+    std::uint64_t
+    memAttributed() const
+    {
+        return (*this)[SlotCat::MemStructural] + (*this)[SlotCat::Scoreboard];
+    }
+
+    void
+    accumulate(const SlotCounts& other)
+    {
+        for (std::size_t i = 0; i < kNumSlotCats; ++i)
+            counts[i] += other.counts[i];
+    }
+};
+
+/** Per-slot stall-attribution profiler (see the file comment). */
+class CycleProfiler
+{
+  public:
+    CycleProfiler() = default;
+
+    /**
+     * Called by the Gpu when the profiler is attached: records the
+     * machine geometry and warp-scheduler kind the profile describes.
+     * Reattaching with a different geometry is fatal — one profiler
+     * aggregates one machine shape.
+     */
+    void onAttach(std::uint32_t num_cores, std::uint32_t slots_per_core,
+                  const std::string& warp_sched);
+
+    // --- recording (hot path, only reached when attached) ---------------
+
+    /**
+     * Account one scheduler-slot cycle on @p core to @p cat, attributed
+     * to @p kernel_id (kInvalidId for `empty` slots, which belong to no
+     * kernel).
+     */
+    void recordSlot(std::uint32_t core, int kernel_id, SlotCat cat);
+
+    /**
+     * Account one *core* cycle in which no slot issued. This is the
+     * collapsed view the legacy two-bucket accounting keeps
+     * (`stall_mem + stall_idle`); a property test pins the equality so
+     * DYNCTA's signal semantics cannot drift.
+     */
+    void
+    recordNoIssueCycle(std::uint32_t core)
+    {
+        cores_[core].noIssueCycles += 1;
+    }
+
+    // --- queries ---------------------------------------------------------
+
+    std::uint32_t numCores() const
+    {
+        return static_cast<std::uint32_t>(cores_.size());
+    }
+    std::uint32_t slotsPerCore() const { return slotsPerCore_; }
+    const std::string& warpSched() const { return warpSched_; }
+
+    /** Category totals of @p core. */
+    const SlotCounts& core(std::uint32_t core) const
+    {
+        return cores_.at(core).total;
+    }
+
+    /** Per-kernel totals of @p core (kernel id order; no `empty`). */
+    const std::map<int, SlotCounts>& coreKernels(std::uint32_t core) const
+    {
+        return cores_.at(core).byKernel;
+    }
+
+    /** Core cycles of @p core in which no slot issued. */
+    std::uint64_t noIssueCycles(std::uint32_t core) const
+    {
+        return cores_.at(core).noIssueCycles;
+    }
+
+    /** Whole-machine category totals. */
+    SlotCounts total() const;
+
+    /** Whole-machine per-kernel totals (kernel id order). */
+    std::map<int, SlotCounts> kernelTotals() const;
+
+  private:
+    struct CoreProfile
+    {
+        SlotCounts total;
+        std::map<int, SlotCounts> byKernel;
+        std::uint64_t noIssueCycles = 0;
+    };
+
+    std::vector<CoreProfile> cores_;
+    std::uint32_t slotsPerCore_ = 0;
+    std::string warpSched_;
+};
+
+/**
+ * Write @p prof with the `bsched-profile-v1` schema. Deterministic
+ * byte-for-byte: cores in id order, kernels in id order, categories in
+ * declaration order.
+ */
+void writeProfileJson(std::ostream& os, const CycleProfiler& prof,
+                      const std::string& label);
+
+} // namespace bsched
+
+#endif // BSCHED_OBS_PROFILE_HH
