@@ -1,5 +1,6 @@
 #include "core/ldst_unit.hh"
 
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -82,6 +83,7 @@ LdstUnit::processLine(Cycle now)
         outgoing_.push_back({line, true, coreId_});
         batch.pendingLines.pop_front();
         ++linesProcessed_;
+        ++writeLines_;
         return true;
     }
 
@@ -91,22 +93,38 @@ LdstUnit::processLine(Cycle now)
         ++batch.outstanding;
         batch.pendingLines.pop_front();
         ++linesProcessed_;
+        ++hitLines_;
         return true;
     }
     // Miss: primary needs an MSHR entry + outgoing space; secondary merges.
     if (!mshr_.has(line)) {
-        if (mshr_.full() || outgoing_.size() >= config_.coreMemQueue)
+        if (mshr_.full() || outgoing_.size() >= config_.coreMemQueue) {
+            ++retryTagLookups_;
             return false;
+        }
         if (mshr_.allocate(line, batch_id) != MshrOutcome::NewEntry)
             panic(name_, ": expected new L1 MSHR entry");
         outgoing_.push_back({line, false, coreId_});
     } else {
-        if (mshr_.allocate(line, batch_id) != MshrOutcome::Merged)
-            return false; // merge list full; retry next cycle
+        if (mshr_.allocate(line, batch_id) != MshrOutcome::Merged) {
+            ++retryTagLookups_; // merge list full; retry next cycle
+            return false;
+        }
     }
     ++batch.outstanding;
     batch.pendingLines.pop_front();
     ++linesProcessed_;
+    ++missLines_;
+    // Access conservation: every processed line took exactly one of the
+    // three paths — L1 hit, miss (MSHR alloc/merge) or write-through
+    // bypass — each with one tag access, plus one extra tag access per
+    // miss that had to retry on a full MSHR / merge list / mem queue.
+    BSCHED_INVARIANT(linesProcessed_ ==
+                         hitLines_ + missLines_ + writeLines_,
+                     name_, ": line path accounting broken");
+    BSCHED_INVARIANT(linesProcessed_ + retryTagLookups_ == tags_.accesses(),
+                     name_,
+                     ": processed lines diverge from L1 tag accesses");
     return true;
 }
 
@@ -196,6 +214,7 @@ LdstUnit::addStats(StatSet& stats) const
     mshr_.addStats(stats, name_ + ".l1mshr");
     stats.add(name_ + ".stall", static_cast<double>(stallCycles_));
     stats.add(name_ + ".lines", static_cast<double>(linesProcessed_));
+    stats.add(name_ + ".retry", static_cast<double>(retryTagLookups_));
 }
 
 } // namespace bsched

@@ -157,6 +157,18 @@ class LdstUnit
 
     std::uint64_t stallCycles_ = 0;
     std::uint64_t linesProcessed_ = 0;
+    // Per-path line counts backing the access = hit + miss + bypass
+    // conservation contract (writes bypass allocation: write-through).
+    std::uint64_t hitLines_ = 0;
+    std::uint64_t missLines_ = 0;
+    std::uint64_t writeLines_ = 0;
+    /**
+     * Tag lookups that missed but could not allocate/merge this cycle
+     * (MSHR or outgoing queue full). The head line retries and probes
+     * the tags again next cycle, so each retry adds one tag access with
+     * no processed line: accesses = processed + retries.
+     */
+    std::uint64_t retryTagLookups_ = 0;
 };
 
 } // namespace bsched

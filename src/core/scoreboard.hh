@@ -11,6 +11,7 @@
 #include <array>
 
 #include "isa/instr.hh"
+#include "sim/check.hh"
 #include "sim/types.hh"
 
 namespace bsched {
@@ -80,6 +81,13 @@ class Scoreboard
     void
     setPendingUntilRelease(std::int8_t reg)
     {
+        // Acquire/release pairing: a register with a load already in
+        // flight must not be re-acquired — canIssue() gates on the
+        // destination, so a second acquire means issue logic let a WAW
+        // hazard through.
+        BSCHED_CHECK(reg == kNoReg || !regPendingRelease(reg),
+                     "scoreboard: double acquire of register ",
+                     static_cast<int>(reg));
         setPending(reg, kCycleNever);
     }
 
@@ -87,6 +95,13 @@ class Scoreboard
     void
     release(std::int8_t reg, Cycle now)
     {
+        // Pairing: only a register acquired with setPendingUntilRelease
+        // (an outstanding load) may be released; a double release or a
+        // release of a fixed-latency result means a completion was
+        // delivered twice or routed to the wrong warp.
+        BSCHED_CHECK(reg == kNoReg || regPendingRelease(reg),
+                     "scoreboard: release of register ",
+                     static_cast<int>(reg), " with no outstanding load");
         setPending(reg, now);
     }
 

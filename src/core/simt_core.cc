@@ -5,6 +5,7 @@
 #include "kernel/mem_pattern.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -43,6 +44,14 @@ int
 SimtCore::launchCta(Cycle now, const KernelInfo& kernel, int kernel_id,
                     std::uint32_t cta_id, std::uint64_t block_seq)
 {
+    // CTA slot accounting: the scheduler may only place a CTA when the
+    // core has capacity (slots, threads, registers, shared memory and
+    // free warp contexts) — a launch past capacity is a slot leak in the
+    // dispatch policy. Contract first (throwable for injection tests),
+    // panic as the Release backstop.
+    BSCHED_CHECK(canAccept(kernel), name_,
+                 ": CTA slot leak — launch without capacity (resident ",
+                 residentCtas(), ")");
     if (!canAccept(kernel))
         panic(name_, ": launchCta without capacity");
     const CtaFootprint fp = ctaFootprint(kernel);
@@ -99,6 +108,13 @@ SimtCore::launchCta(Cycle now, const KernelInfo& kernel, int kernel_id,
     if (track.firstLaunch == kCycleNever)
         track.firstLaunch = now;
     ++ctasLaunched_;
+    // CTA conservation on this core: every launched CTA is either
+    // resident or has completed, and residency never exceeds the
+    // hardware slot count.
+    BSCHED_INVARIANT(ctasLaunched_ == ctasCompleted_ + residentCtas(),
+                     name_, ": CTA launch/retire balance broken");
+    BSCHED_INVARIANT(residentCtas() <= config_.maxCtasPerCore, name_,
+                     ": resident CTAs exceed hardware slots");
 
     if (tracer_ != nullptr) {
         TraceEvent event;
@@ -432,6 +448,8 @@ SimtCore::completeCta(int hw_cta, Cycle now)
         tracer_->record(track_, event);
     }
     cta.valid = false;
+    BSCHED_INVARIANT(ctasLaunched_ == ctasCompleted_ + residentCtas(),
+                     name_, ": CTA launch/retire balance broken");
 }
 
 void
@@ -489,6 +507,7 @@ SimtCore::tick(Cycle now)
         return;
 
     bool issued_any = false;
+    std::uint32_t issuedThisCycle = 0;
     std::vector<int> ready;
     for (std::size_t s = 0; s < schedulers_.size(); ++s) {
         ready.clear();
@@ -517,7 +536,17 @@ SimtCore::tick(Cycle now)
         }
         issueFrom(chosen, now);
         issued_any = true;
+        ++issuedThisCycle;
     }
+    // Issue-bandwidth conservation: one instruction per scheduler slot
+    // per cycle, and the structural units never exceed their budgets.
+    BSCHED_INVARIANT(issuedThisCycle <= schedulers_.size(), name_,
+                     ": issued ", issuedThisCycle, " instructions with ",
+                     schedulers_.size(), " scheduler slots");
+    BSCHED_INVARIANT(memIssuedThisCycle_ <= config_.ldstUnits, name_,
+                     ": memory issues exceed LD/ST ports");
+    BSCHED_INVARIANT(sfuIssuedThisCycle_ <= config_.sfuUnits, name_,
+                     ": SFU issues exceed SFU ports");
     if (issued_any) {
         ++issueCycles_;
     } else if (!ldst_.drained()) {

@@ -163,7 +163,8 @@ BawsScheduler::pickWithinBlock(std::uint64_t block,
     // when the partner needs them), but stay greedy *within* the chosen
     // CTA so its memory priority remains concentrated.
     // One pass over the warp table: per-CTA progress for this block.
-    std::unordered_map<std::uint64_t, std::uint64_t> progress;
+    // Ordered map: the laggard scan below must not see hash order.
+    std::map<std::uint64_t, std::uint64_t> progress;
     for (const Warp& peer : warps) {
         if (peer.valid && peer.blockSeq == block)
             progress[peer.ctaSeq] += peer.instrsIssued;

@@ -17,8 +17,8 @@
 #define BSCHED_CORE_WARP_SCHED_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/warp.hh"
@@ -138,8 +138,12 @@ class BawsScheduler : public WarpScheduler
                         const std::vector<Warp>& warps);
 
     std::uint64_t lastBlock_ = kNoBlock;
-    /** Per-block round-robin pointer (last issued warp id). */
-    std::unordered_map<std::uint64_t, int> rotate_;
+    /**
+     * Per-block round-robin pointer (last issued warp id). Ordered by
+     * block so any iteration (stats, future policies) is deterministic;
+     * schedule decisions must never inherit hash order.
+     */
+    std::map<std::uint64_t, int> rotate_;
 };
 
 } // namespace bsched

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -58,6 +59,12 @@ BlockCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
             const std::uint64_t seq = blockSeqCounter_++;
             for (std::uint32_t b = 0; b < want; ++b)
                 dispatch(now, *kernel, core, seq);
+            // Block dispatch may overshoot the residency cap by at most
+            // B-1 CTAs (the final partial block), never by a full block.
+            BSCHED_INVARIANT(core.residentCtas(kernel->id) <=
+                                 std::max(cap, want),
+                             "bcs: block dispatch overshot the residency "
+                             "cap on core ", c);
             if (tracer_ != nullptr && want >= 2) {
                 TraceEvent event;
                 event.cycle = now;

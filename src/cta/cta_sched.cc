@@ -5,6 +5,7 @@
 #include "cta/block_cta_sched.hh"
 #include "cta/dyncta_sched.hh"
 #include "cta/lazy_cta_sched.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -82,11 +83,24 @@ void
 CtaScheduler::dispatch(Cycle now, KernelInstance& kernel, SimtCore& core,
                        std::uint64_t block_seq)
 {
+    // Grid accounting: a policy must stop offering a kernel once every
+    // CTA id has been dispatched (contract is the testable layer, panic
+    // the Release backstop against corrupting nextCta).
+    BSCHED_CHECK(!kernel.dispatchDone(),
+                 "cta scheduler: dispatch past end of grid (kernel ",
+                 kernel.id, ", nextCta ", kernel.nextCta, ")");
     if (kernel.dispatchDone())
         panic("cta scheduler: dispatch past end of grid");
     core.launchCta(now, *kernel.info, kernel.id, kernel.nextCta, block_seq);
     ++kernel.nextCta;
     ++dispatches_;
+    // Dispatch conservation for this kernel: retired + in-flight (over
+    // the whole GPU, so >= this core's share) can never exceed what was
+    // dispatched, and dispatch never overruns the grid.
+    BSCHED_INVARIANT(kernel.ctasDone < kernel.nextCta &&
+                         kernel.nextCta <= kernel.info->gridCtas(),
+                     "cta scheduler: kernel ", kernel.id,
+                     " dispatched/done counters out of range");
 }
 
 void

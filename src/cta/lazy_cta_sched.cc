@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -45,8 +46,15 @@ LazyCtaScheduler::decide(Cycle now, std::uint32_t core_id, int kernel_id,
         }
         n_opt += config_.lcs.slackCtas;
     }
+    BSCHED_CHECK(n_max >= 1, "lcs: monitoring window closed with a zero "
+                             "occupancy cap on core ", core_id);
     mon.nOpt = std::clamp<std::uint32_t>(n_opt, 1, n_max);
     mon.decided = true;
+    // The decided limit must stay inside [1, occupancy cap]: below 1 the
+    // core would starve, above n_max the lazy decline could never bind.
+    BSCHED_INVARIANT(mon.nOpt >= 1 && mon.nOpt <= n_max,
+                     "lcs: N_opt ", mon.nOpt, " outside [1, ", n_max,
+                     "] on core ", core_id);
 
     if (tracer_ != nullptr) {
         TraceEvent event;
@@ -83,6 +91,8 @@ LazyCtaScheduler::notifyCtaDone(Cycle now, const CtaDoneEvent& event,
 {
     if (config_.lcs.windowMode != LcsWindowMode::FirstCtaDone)
         return;
+    BSCHED_CHECK(event.info != nullptr,
+                 "lcs: CtaDoneEvent carries no kernel info");
     if (event.info == nullptr)
         panic("lcs: CtaDoneEvent carries no kernel info");
     // The first completed CTA of a kernel on a core closes that core's

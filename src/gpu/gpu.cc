@@ -3,6 +3,7 @@
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -143,6 +144,13 @@ Gpu::stepCycle()
             KernelInstance& kernel =
                 kernels_.at(static_cast<std::size_t>(event.kernelId));
             ++kernel.ctasDone;
+            // Kernel-level conservation: completions are dispatched CTAs
+            // coming back, so done can never outrun dispatched, and
+            // neither can overrun the grid.
+            BSCHED_INVARIANT(kernel.ctasDone <= kernel.nextCta &&
+                                 kernel.nextCta <= kernel.info->gridCtas(),
+                             "gpu: kernel ", kernel.id,
+                             " completed more CTAs than were dispatched");
             if (kernel.finished() && kernel.doneCycle == kCycleNever) {
                 kernel.doneCycle = now;
                 if (obs_.tracer != nullptr) {

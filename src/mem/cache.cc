@@ -1,6 +1,7 @@
 #include "mem/cache.hh"
 
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -84,6 +85,10 @@ TagArray::access(Addr line_addr, Cycle now)
     ++hits_;
     line->lastUse = now;
     line->seq = ++seqCounter_;
+    // Access accounting: every access is exactly a hit or a miss; the
+    // derived misses() relies on hits never outrunning accesses.
+    BSCHED_INVARIANT(hits_ <= accesses_, "cache ", name_,
+                     ": hits exceed accesses");
     return true;
 }
 
@@ -108,6 +113,12 @@ TagArray::markDirty(Addr line_addr)
 Eviction
 TagArray::fill(Addr line_addr, Cycle now, bool dirty)
 {
+    // Fill pairing: a line is fetched once per outstanding miss, so a
+    // second fill of a present line means the MSHR merge logic sent a
+    // duplicate fetch (contract is the testable layer, panic the
+    // Release backstop against corrupting LRU state).
+    BSCHED_CHECK(!probe(line_addr), "cache ", name_,
+                 ": fill of already-present line");
     if (find(line_addr))
         panic("cache ", name_, ": fill of already-present line");
     const std::uint32_t set = setIndex(line_addr);

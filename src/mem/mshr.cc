@@ -1,5 +1,6 @@
 #include "mem/mshr.hh"
 
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -23,6 +24,8 @@ MshrFile::allocate(Addr line_addr, std::uint32_t waiter)
         }
         it->second.push_back(waiter);
         ++merges_;
+        BSCHED_INVARIANT(it->second.size() <= maxMerged_, "mshr ", name_,
+                         ": merge list exceeds capacity");
         return MshrOutcome::Merged;
     }
     if (full()) {
@@ -31,6 +34,12 @@ MshrFile::allocate(Addr line_addr, std::uint32_t waiter)
     }
     map_.emplace(line_addr, std::vector<std::uint32_t>{waiter});
     ++allocs_;
+    // Conservation: every allocated entry is either still outstanding or
+    // has been completed exactly once.
+    BSCHED_INVARIANT(entriesInUse() <= entries_, "mshr ", name_,
+                     ": entry count exceeds file capacity");
+    BSCHED_INVARIANT(allocs_ == completes_ + entriesInUse(), "mshr ", name_,
+                     ": alloc/complete balance broken");
     return MshrOutcome::NewEntry;
 }
 
@@ -43,11 +52,23 @@ MshrFile::has(Addr line_addr) const
 std::vector<std::uint32_t>
 MshrFile::complete(Addr line_addr)
 {
+    // A fill for a line nobody asked for — or a second fill after the
+    // entry already retired (double fill) — means merge/fill pairing
+    // broke upstream. The contract fires first in validating builds
+    // (throwable for injection tests); the panic keeps Release builds
+    // from dereferencing end().
+    BSCHED_CHECK(has(line_addr), "mshr ", name_,
+                 ": double fill or fill of unknown line");
     auto it = map_.find(line_addr);
     if (it == map_.end())
         panic("mshr ", name_, ": complete of unknown line");
+    BSCHED_INVARIANT(!it->second.empty(), "mshr ", name_,
+                     ": completing entry with no waiters");
     std::vector<std::uint32_t> waiters = std::move(it->second);
     map_.erase(it);
+    ++completes_;
+    BSCHED_INVARIANT(allocs_ == completes_ + entriesInUse(), "mshr ", name_,
+                     ": alloc/complete balance broken");
     return waiters;
 }
 
@@ -56,6 +77,7 @@ MshrFile::addStats(StatSet& stats, const std::string& prefix) const
 {
     stats.add(prefix + ".alloc", static_cast<double>(allocs_));
     stats.add(prefix + ".merge", static_cast<double>(merges_));
+    stats.add(prefix + ".complete", static_cast<double>(completes_));
     stats.add(prefix + ".stall_entry", static_cast<double>(fullEntryStalls_));
     stats.add(prefix + ".stall_file", static_cast<double>(fullFileStalls_));
 }

@@ -10,8 +10,8 @@
 #define BSCHED_MEM_MSHR_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/stats.hh"
@@ -64,9 +64,15 @@ class MshrFile
     std::uint32_t entries_;
     std::uint32_t maxMerged_;
     std::string name_;
-    std::unordered_map<Addr, std::vector<std::uint32_t>> map_;
+    /**
+     * Ordered by line address so any iteration (stats, debug dumps) is
+     * deterministic — an unordered_map here would let hash order leak
+     * into anything that ever walks the outstanding set.
+     */
+    std::map<Addr, std::vector<std::uint32_t>> map_;
     std::uint64_t allocs_ = 0;
     std::uint64_t merges_ = 0;
+    std::uint64_t completes_ = 0;
     std::uint64_t fullEntryStalls_ = 0;
     std::uint64_t fullFileStalls_ = 0;
 };

@@ -1,0 +1,39 @@
+#include "sim/check.hh"
+
+#include <atomic>
+
+namespace bsched {
+
+namespace {
+std::atomic<bool> g_contractThrows{false};
+} // namespace
+
+bool
+setContractThrows(bool enabled)
+{
+    return g_contractThrows.exchange(enabled, std::memory_order_relaxed);
+}
+
+bool
+contractThrows()
+{
+    return g_contractThrows.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+contractFail(const char* kind, const char* expr, const char* file, int line,
+             const std::string& message)
+{
+    std::string what = concat("contract ", kind, " failed: ", expr, " at ",
+                              file, ":", line);
+    if (!message.empty())
+        what += concat(": ", message);
+    if (contractThrows())
+        throw ContractViolation(kind, expr, what);
+    panic(what);
+}
+
+} // namespace detail
+} // namespace bsched

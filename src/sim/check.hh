@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Simulator contract layer. Encodes the model's conservation laws at
+ * module boundaries as checkable contracts that are *always on* in
+ * Debug builds and in builds configured with -DBSCHED_VALIDATE=ON, and
+ * compiled out entirely (the condition is never evaluated) in plain
+ * Release/RelWithDebInfo builds.
+ *
+ * Taxonomy — pick the macro by what the condition means, not by cost:
+ *
+ *  - BSCHED_CHECK(cond, ...):     precondition at a module boundary —
+ *    the caller handed us a state that must already hold (e.g. "this
+ *    core has a free CTA slot", "this MSHR line is outstanding").
+ *  - BSCHED_INVARIANT(cond, ...): conservation law internal to a module
+ *    — a quantity that the module's own bookkeeping must keep balanced
+ *    (e.g. "allocations == completions + entries in use", "warps issued
+ *    this cycle <= scheduler slots").
+ *  - BSCHED_DCHECK(cond, ...):    hot-loop sanity check that is cheap
+ *    enough for the per-cycle path but adds no information at a module
+ *    boundary; same gating, separate name so readers can tell contract
+ *    surface from belt-and-braces.
+ *
+ * A failed contract calls panic() (abort) by default. Tests flip the
+ * process into throw mode (ScopedContractThrows) so violation-injection
+ * tests can assert that a specific contract fires without spawning a
+ * death-test subprocess.
+ *
+ * Trailing arguments after the condition are streamed into the failure
+ * message (same formatting as panic()); they are not evaluated when the
+ * contract holds or when contracts are compiled out.
+ */
+
+#ifndef BSCHED_SIM_CHECK_HH
+#define BSCHED_SIM_CHECK_HH
+
+#include <stdexcept>
+#include <string>
+
+#include "sim/log.hh"
+
+/** True when contract macros are compiled in. */
+#if !defined(NDEBUG) || defined(BSCHED_VALIDATE)
+#define BSCHED_CHECKS_ENABLED 1
+#else
+#define BSCHED_CHECKS_ENABLED 0
+#endif
+
+namespace bsched {
+
+/** Compile-time mirror of BSCHED_CHECKS_ENABLED for `if constexpr`. */
+inline constexpr bool kChecksEnabled = BSCHED_CHECKS_ENABLED != 0;
+
+/** Runtime query (tests, tools): are contracts compiled into this build? */
+constexpr bool
+checksEnabled()
+{
+    return kChecksEnabled;
+}
+
+/** Thrown instead of abort() when contract throw mode is active. */
+class ContractViolation : public std::logic_error
+{
+  public:
+    ContractViolation(std::string kind, std::string expr, std::string what)
+        : std::logic_error(std::move(what)),
+          kind_(std::move(kind)),
+          expr_(std::move(expr))
+    {}
+
+    /** "check", "invariant" or "dcheck". */
+    const std::string& kind() const { return kind_; }
+    /** The stringified condition that failed. */
+    const std::string& expression() const { return expr_; }
+
+  private:
+    std::string kind_;
+    std::string expr_;
+};
+
+/**
+ * Enable/disable contract throw mode process-wide; returns the previous
+ * setting. Test-only: production failures must abort so a broken
+ * conservation law can never be swallowed by an exception handler.
+ */
+bool setContractThrows(bool enabled);
+
+/** True if contract failures currently throw instead of aborting. */
+bool contractThrows();
+
+/** RAII throw-mode scope for violation-injection tests. */
+class ScopedContractThrows
+{
+  public:
+    ScopedContractThrows() : previous_(setContractThrows(true)) {}
+    ~ScopedContractThrows() { setContractThrows(previous_); }
+
+    ScopedContractThrows(const ScopedContractThrows&) = delete;
+    ScopedContractThrows& operator=(const ScopedContractThrows&) = delete;
+
+  private:
+    bool previous_;
+};
+
+namespace detail {
+
+/**
+ * Report a failed contract: throws ContractViolation in throw mode,
+ * panic() (abort) otherwise.
+ */
+[[noreturn]] void contractFail(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& message);
+
+/** Format the optional trailing message arguments (empty for none). */
+template <typename... Args>
+std::string
+contractMsg(Args&&... args)
+{
+    if constexpr (sizeof...(Args) == 0)
+        return std::string();
+    else
+        return concat(std::forward<Args>(args)...);
+}
+
+} // namespace detail
+} // namespace bsched
+
+#if BSCHED_CHECKS_ENABLED
+
+#define BSCHED_CONTRACT_IMPL(kind, cond, ...)                                \
+    ((cond) ? static_cast<void>(0)                                           \
+            : ::bsched::detail::contractFail(                                \
+                  kind, #cond, __FILE__, __LINE__,                           \
+                  ::bsched::detail::contractMsg(__VA_ARGS__)))
+
+#define BSCHED_CHECK(cond, ...)                                              \
+    BSCHED_CONTRACT_IMPL("check", cond, __VA_ARGS__)
+#define BSCHED_INVARIANT(cond, ...)                                          \
+    BSCHED_CONTRACT_IMPL("invariant", cond, __VA_ARGS__)
+#define BSCHED_DCHECK(cond, ...)                                             \
+    BSCHED_CONTRACT_IMPL("dcheck", cond, __VA_ARGS__)
+
+#else // !BSCHED_CHECKS_ENABLED
+
+// Compiled out: the condition and message arguments are never evaluated
+// (sizeof keeps the expression parsed, so contract-only variables stay
+// "used" and a contract that stops compiling is caught in every build).
+#define BSCHED_CONTRACT_DISABLED(cond)                                       \
+    static_cast<void>(sizeof(static_cast<bool>(cond) ? 0 : 0))
+
+#define BSCHED_CHECK(cond, ...) BSCHED_CONTRACT_DISABLED(cond)
+#define BSCHED_INVARIANT(cond, ...) BSCHED_CONTRACT_DISABLED(cond)
+#define BSCHED_DCHECK(cond, ...) BSCHED_CONTRACT_DISABLED(cond)
+
+#endif // BSCHED_CHECKS_ENABLED
+
+#endif // BSCHED_SIM_CHECK_HH

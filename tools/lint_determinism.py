@@ -1,0 +1,243 @@
+#!/usr/bin/env python3
+"""Determinism lint for the simulator model code.
+
+The whole evaluation rests on the simulator being bit-deterministic: the
+same configuration must produce byte-identical ``bsched-run-v1`` /
+``bsched-bench-v1`` artifacts for any ``--jobs`` count, machine and
+process invocation. This lint rejects the nondeterminism sources that
+have bitten timing simulators before, at the source level, before they
+can reach a schedule decision or an emitted artifact:
+
+  rand            ``rand()``/``srand()``/``std::random_device``/
+                  ``std::mt19937`` — model code must draw randomness from
+                  the seeded, deterministic ``bsched::Rng`` (sim/rng.hh).
+  wall-clock      ``time()``/``clock()``/``gettimeofday``/
+                  ``clock_gettime``/``std::chrono`` clocks — wall-clock
+                  values differ per run; anything derived from them is
+                  nondeterministic by construction.
+  unordered-container
+                  ``std::unordered_map``/``set`` (and multi variants) —
+                  iteration order follows the hash function and libc++/
+                  libstdc++ disagree; one innocent range-for over such a
+                  container can leak hash order into schedules or stats.
+                  Model code uses ordered containers (or sorts before
+                  iterating).
+  pointer-keyed-container
+                  ``std::map``/``std::set`` keyed by a pointer type —
+                  ordered by allocation address, which ASLR randomizes
+                  per process.
+  atomic-float    ``std::atomic<float|double>`` — cross-thread float
+                  accumulation commits in nondeterministic order and
+                  float addition does not associate.
+
+Files are discovered from the CMake compilation database
+(``compile_commands.json``) plus a glob over headers, so the lint always
+covers exactly what the build compiles.
+
+Audited exceptions live in an allowlist file (default
+``tools/determinism_allowlist.txt``). Each non-comment line is::
+
+    <path-relative-to-repo> <rule> <justification...>
+
+and silences that one rule in that one file. The justification is
+mandatory — an allowlist entry without one is itself a lint error.
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+
+RULES = {
+    "rand": re.compile(
+        r"\bsrand\s*\(|(?<![:\w])rand\s*\(|std::random_device"
+        r"|std::mt19937|\bdrand48\b|\blrand48\b"
+    ),
+    "wall-clock": re.compile(
+        r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+        r"|(?<![:\w.>])time\s*\(\s*(NULL|nullptr|0)?\s*\)"
+        r"|(?<![:\w.>])clock\s*\(\s*\)"
+    ),
+    "unordered-container": re.compile(
+        r"std::unordered_(map|set|multimap|multiset)\b"
+    ),
+    "pointer-keyed-container": re.compile(
+        r"std::(map|set)\s*<\s*(const\s+)?[\w:]+\s*\*"
+    ),
+    "atomic-float": re.compile(
+        r"std::atomic\s*<\s*(float|double|long\s+double)\b"
+    ),
+}
+
+COMMENT_STRING_RE = re.compile(
+    r"""
+      //[^\n]*            # line comment
+    | /\*.*?\*/           # block comment
+    | "(?:\\.|[^"\\])*"   # string literal
+    | '(?:\\.|[^'\\])*'   # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and literals, preserving line numbers."""
+
+    def blank(match: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return COMMENT_STRING_RE.sub(blank, text)
+
+
+def load_sources(build_dir: Path, repo: Path) -> list[Path]:
+    """Compiled src/ translation units plus all src/ headers."""
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        sys.exit(
+            f"error: {db_path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default preset "
+            "does) or pass --build-dir (exit 2)"
+        )
+    src_root = (repo / "src").resolve()
+    files: set[Path] = set()
+    for entry in json.loads(db_path.read_text()):
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        if src_root in path.parents:
+            files.add(path)
+    files.update(p.resolve() for p in src_root.rglob("*.hh"))
+    return sorted(files)
+
+
+class Allowlist:
+    def __init__(self, path: Path, repo: Path):
+        self.entries: set[tuple[str, str]] = set()
+        self.used: set[tuple[str, str]] = set()
+        self.errors: list[str] = []
+        if not path.is_file():
+            return
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                self.errors.append(
+                    f"{path}:{lineno}: allowlist entry needs "
+                    "'<path> <rule> <justification>'"
+                )
+                continue
+            rel, rule, _justification = parts
+            if rule not in RULES:
+                self.errors.append(
+                    f"{path}:{lineno}: unknown rule '{rule}' "
+                    f"(known: {', '.join(sorted(RULES))})"
+                )
+                continue
+            if not (repo / rel).is_file():
+                self.errors.append(
+                    f"{path}:{lineno}: allowlisted file '{rel}' "
+                    "does not exist"
+                )
+                continue
+            self.entries.add((rel, rule))
+
+    def allows(self, rel: str, rule: str) -> bool:
+        if (rel, rule) in self.entries:
+            self.used.add((rel, rule))
+            return True
+        return False
+
+    def stale(self) -> list[tuple[str, str]]:
+        return sorted(self.entries - self.used)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="reject nondeterminism sources in simulator model code"
+    )
+    parser.add_argument(
+        "--build-dir", type=Path, default=Path("build"),
+        help="build tree containing compile_commands.json (default: build)",
+    )
+    parser.add_argument(
+        "--repo", type=Path, default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the tree containing this script)",
+    )
+    parser.add_argument(
+        "--allowlist", type=Path, default=None,
+        help="allowlist file (default: tools/determinism_allowlist.txt)",
+    )
+    parser.add_argument(
+        "--list-files", action="store_true",
+        help="print the files that would be scanned and exit",
+    )
+    args = parser.parse_args()
+
+    repo = args.repo.resolve()
+    allowlist_path = args.allowlist or repo / "tools" / \
+        "determinism_allowlist.txt"
+    build_dir = args.build_dir if args.build_dir.is_absolute() \
+        else repo / args.build_dir
+
+    files = load_sources(build_dir, repo)
+    if args.list_files:
+        for path in files:
+            print(path.relative_to(repo))
+        return 0
+
+    allowlist = Allowlist(allowlist_path, repo)
+    findings: list[str] = []
+    suppressed = 0
+
+    for path in files:
+        rel = str(path.relative_to(repo))
+        text = strip_comments_and_strings(
+            path.read_text(encoding="utf-8", errors="replace"))
+        for rule, pattern in RULES.items():
+            for match in pattern.finditer(text):
+                if allowlist.allows(rel, rule):
+                    suppressed += 1
+                    continue
+                line = text.count("\n", 0, match.start()) + 1
+                findings.append(
+                    f"{rel}:{line}: {rule}: '{match.group(0).strip()}'"
+                )
+
+    for error in allowlist.errors:
+        findings.append(error)
+    for rel, rule in allowlist.stale():
+        findings.append(
+            f"{allowlist_path.relative_to(repo)}: stale entry "
+            f"'{rel} {rule}' matches nothing — remove it"
+        )
+
+    if findings:
+        print(f"determinism lint: {len(findings)} finding(s) in "
+              f"{len(files)} file(s):")
+        for finding in sorted(findings):
+            print(f"  {finding}")
+        print(
+            "\nFix the source (preferred), or add an audited entry to\n"
+            f"{allowlist_path.relative_to(repo)} with a justification — "
+            "see docs/STATIC_ANALYSIS.md."
+        )
+        return 1
+
+    print(
+        f"determinism lint: clean — {len(files)} file(s), "
+        f"{suppressed} audited suppression(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
