@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/mem_profile.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -60,6 +61,10 @@ parseArgs(int argc, char** argv)
             opts.profilePath = next("--profile");
         } else if (std::strncmp(arg, "--profile=", 10) == 0) {
             opts.profilePath = arg + 10;
+        } else if (std::strcmp(arg, "--mem-profile") == 0) {
+            opts.memProfilePath = next("--mem-profile");
+        } else if (std::strncmp(arg, "--mem-profile=", 14) == 0) {
+            opts.memProfilePath = arg + 14;
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
         } else if (std::strcmp(arg, "--emit-json") == 0) {
@@ -79,8 +84,8 @@ parseArgs(int argc, char** argv)
         } else {
             fatal("unknown argument '", arg,
                   "' (figures accept --jobs N, --trace FILE, "
-                  "--profile FILE, --emit-json FILE, --sample-every N, "
-                  "--progress, --log LEVEL)");
+                  "--profile FILE, --mem-profile FILE, --emit-json FILE, "
+                  "--sample-every N, --progress, --log LEVEL)");
         }
     }
     opts.jobs = resolveJobs(requested);
@@ -118,7 +123,8 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
 {
     const bool want_trace = !opts.tracePath.empty();
     const bool want_profile = !opts.profilePath.empty();
-    if (!want_trace && !want_profile)
+    const bool want_mem = !opts.memProfilePath.empty();
+    if (!want_trace && !want_profile && !want_mem)
         return;
 
     const Cycle period =
@@ -126,6 +132,7 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
     Tracer tracer(config.numCores, config.numMemPartitions);
     IntervalSampler sampler(period);
     CycleProfiler profiler;
+    MemProfiler mem_profiler;
     Observer obs;
     if (want_trace) {
         obs.tracer = &tracer;
@@ -133,6 +140,8 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
     }
     if (want_profile)
         obs.profiler = &profiler;
+    if (want_mem)
+        obs.memProfiler = &mem_profiler;
     runKernel(config, kernel, obs);
 
     if (want_trace) {
@@ -156,6 +165,16 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
             });
         std::fprintf(stderr, "wrote %s (%zu bytes, %s)\n",
                      opts.profilePath.c_str(), bytes, label.c_str());
+    }
+    if (want_mem) {
+        const std::size_t bytes =
+            writeFile(opts.memProfilePath, [&](std::ostream& os) {
+                writeMemProfileJson(os, mem_profiler, label);
+            });
+        std::fprintf(stderr, "wrote %s (%zu bytes, %s, %llu requests)\n",
+                     opts.memProfilePath.c_str(), bytes, label.c_str(),
+                     static_cast<unsigned long long>(
+                         mem_profiler.completedRequests()));
     }
 }
 

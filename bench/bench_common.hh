@@ -1,9 +1,9 @@
 /**
  * @file
  * Shared scaffolding for the figure/table binaries: the common command
- * line (--jobs, --trace, --profile, --emit-json, --sample-every,
- * --progress, --log) and the workload × config grid runner every sweep
- * figure uses instead of hand-rolled serial loops.
+ * line (--jobs, --trace, --profile, --mem-profile, --emit-json,
+ * --sample-every, --progress, --log) and the workload × config grid
+ * runner every sweep figure uses instead of hand-rolled serial loops.
  *
  * All figures accept `--jobs N` (also `--jobs=N` / `-jN`) or the
  * BSCHED_JOBS environment variable; the default is the hardware
@@ -38,6 +38,10 @@ struct BenchOptions
      *  profile of one representative run. */
     std::string profilePath;
 
+    /** --mem-profile FILE: write a `bsched-memprofile-v1` memory
+     *  latency/interference profile of one representative run. */
+    std::string memProfilePath;
+
     /** --emit-json FILE: write the figure's BenchReport as JSON. */
     std::string emitJsonPath;
 
@@ -51,10 +55,10 @@ struct BenchOptions
 /**
  * Parse the shared bench command line. Recognizes "--jobs N" /
  * "--jobs=N" / "-jN", "--trace FILE", "--profile FILE",
- * "--emit-json FILE", "--sample-every N", "--progress" (also the
- * BSCHED_PROGRESS environment variable) and "--log LEVEL" (also
- * BSCHED_LOG); anything else is fatal() so a typo doesn't silently
- * fall back to defaults.
+ * "--mem-profile FILE", "--emit-json FILE", "--sample-every N",
+ * "--progress" (also the BSCHED_PROGRESS environment variable) and
+ * "--log LEVEL" (also BSCHED_LOG); anything else is fatal() so a typo
+ * doesn't silently fall back to defaults.
  */
 BenchOptions parseArgs(int argc, char** argv);
 
@@ -68,15 +72,16 @@ unsigned parseJobs(int argc, char** argv);
 void writeReport(const BenchOptions& opts, const BenchReport& report);
 
 /**
- * Honour --trace and --profile: re-run one representative simulation
- * point with the requested observers attached — a Tracer plus an
- * IntervalSampler (period --sample-every, default 512) for --trace, a
- * CycleProfiler for --profile — and write the Chrome trace JSON to
- * opts.tracePath and/or the `bsched-profile-v1` JSON to
- * opts.profilePath. When both are requested the same single re-run
- * feeds both artifacts. No-op when neither flag was given; the re-run
- * is serial and separate from the measured grid, so artifacts never
- * perturb the parallel sweep.
+ * Honour --trace, --profile and --mem-profile: re-run one
+ * representative simulation point with the requested observers
+ * attached — a Tracer plus an IntervalSampler (period --sample-every,
+ * default 512) for --trace, a CycleProfiler for --profile, a
+ * MemProfiler for --mem-profile — and write the Chrome trace JSON to
+ * opts.tracePath, the `bsched-profile-v1` JSON to opts.profilePath
+ * and/or the `bsched-memprofile-v1` JSON to opts.memProfilePath. When
+ * several are requested the same single re-run feeds all artifacts.
+ * No-op when no flag was given; the re-run is serial and separate from
+ * the measured grid, so artifacts never perturb the parallel sweep.
  */
 void writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
                        const KernelInfo& kernel, const std::string& label);

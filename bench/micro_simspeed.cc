@@ -13,9 +13,11 @@
  *
  * `--emit-json FILE` additionally writes a `bsched-simspeed-v1`
  * artifact: the sim rate of the small kernel bare, with the
- * tracer+sampler stack, and with the cycle-accounting profiler. The
- * committed bench/BENCH_simspeed.json baseline is produced this way and
- * CI's perf-smoke step diffs a fresh artifact against it (warn-only).
+ * tracer+sampler stack, with the cycle-accounting profiler, and with
+ * the request-level memory profiler. The committed
+ * bench/BENCH_simspeed.json baseline is produced this way and CI's
+ * perf-smoke step diffs a fresh artifact against it with
+ * tools/bench_compare.py (warn-only).
  */
 
 #include <benchmark/benchmark.h>
@@ -31,6 +33,7 @@
 #include "harness/runner.hh"
 #include "kernel/program_builder.hh"
 #include "mem/cache.hh"
+#include "obs/mem_profile.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/sink.hh"
@@ -131,6 +134,37 @@ BM_SimulateSmallKernelProfiled(benchmark::State& state)
 }
 BENCHMARK(BM_SimulateSmallKernelProfiled)->Unit(benchmark::kMillisecond);
 
+/**
+ * The same kernel with only the request-level memory profiler attached.
+ * Comparing against BM_SimulateSmallKernel bounds the per-request
+ * bookkeeping overhead of --mem-profile runs; the disabled path — null
+ * memProfiler pointers throughout the memory system — is
+ * BM_SimulateSmallKernel itself and is pinned to the ≤5% budget by the
+ * perf-smoke trajectory.
+ */
+void
+BM_SimulateSmallKernelMemProfiled(benchmark::State& state)
+{
+    const GpuConfig config = makeConfig(WarpSchedKind::GTO,
+                                        CtaSchedKind::RoundRobin);
+    const KernelInfo kernel = smallKernel();
+    std::uint64_t cycles = 0;
+    for (auto _ : state) {
+        MemProfiler profiler;
+        Observer obs;
+        obs.memProfiler = &profiler;
+        Gpu gpu(config, obs);
+        gpu.launchKernel(kernel);
+        gpu.run();
+        benchmark::DoNotOptimize(profiler.completedRequests());
+        cycles += gpu.cycle();
+    }
+    state.counters["sim_cycles_per_s"] = benchmark::Counter(
+        static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulateSmallKernelMemProfiled)
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_CacheAccess(benchmark::State& state)
 {
@@ -225,9 +259,10 @@ struct RateSample
 /** Which observers the measured runs attach. */
 enum class ObsMode
 {
-    Plain,    ///< no observers — the null-pointer disabled path
-    Observed, ///< tracer + interval sampler (as --trace runs)
-    Profiled  ///< cycle-accounting profiler only (as --profile runs)
+    Plain,       ///< no observers — the null-pointer disabled path
+    Observed,    ///< tracer + interval sampler (as --trace runs)
+    Profiled,    ///< cycle-accounting profiler only (as --profile runs)
+    MemProfiled  ///< memory profiler only (as --mem-profile runs)
 };
 
 /**
@@ -244,12 +279,15 @@ measureSimRate(const GpuConfig& config, const KernelInfo& kernel, int reps,
         Tracer tracer(config.numCores, config.numMemPartitions);
         IntervalSampler sampler(512);
         CycleProfiler profiler;
+        MemProfiler mem_profiler;
         Observer obs;
         if (mode == ObsMode::Observed) {
             obs.tracer = &tracer;
             obs.sampler = &sampler;
         } else if (mode == ObsMode::Profiled) {
             obs.profiler = &profiler;
+        } else if (mode == ObsMode::MemProfiled) {
+            obs.memProfiler = &mem_profiler;
         }
         Gpu gpu(config, obs);
         gpu.launchKernel(kernel);
@@ -274,10 +312,11 @@ measureSimRate(const GpuConfig& config, const KernelInfo& kernel, int reps,
 
 /**
  * Write the `bsched-simspeed-v1` artifact: the sim rate of the small
- * kernel with no observers, with the tracer+sampler stack, and with the
- * cycle-accounting profiler, plus the enabled-path overhead ratios. CI's
- * perf-smoke step compares a fresh artifact against the committed
- * bench/BENCH_simspeed.json baseline (warn-only — absolute rates are
+ * kernel with no observers, with the tracer+sampler stack, with the
+ * cycle-accounting profiler, and with the memory profiler, plus the
+ * enabled-path overhead ratios. CI's perf-smoke step compares a fresh
+ * artifact against the committed bench/BENCH_simspeed.json baseline
+ * with tools/bench_compare.py (warn-only — absolute rates are
  * machine-dependent).
  */
 void
@@ -293,6 +332,8 @@ writeSimspeedJson(const std::string& path)
         measureSimRate(config, kernel, kReps, ObsMode::Observed);
     const RateSample profiled =
         measureSimRate(config, kernel, kReps, ObsMode::Profiled);
+    const RateSample mem_profiled =
+        measureSimRate(config, kernel, kReps, ObsMode::MemProfiled);
 
     auto mode_json = [](std::ostream& os, const char* name,
                         const RateSample& s, bool last) {
@@ -312,10 +353,13 @@ writeSimspeedJson(const std::string& path)
            << "  \"reps\": " << kReps << ",\n  \"modes\": {\n";
         mode_json(os, "plain", plain, false);
         mode_json(os, "observed", observed, false);
-        mode_json(os, "profiled", profiled, true);
+        mode_json(os, "profiled", profiled, false);
+        mode_json(os, "memprofiled", mem_profiled, true);
         os << "  },\n  \"relative_rate\": {\"observed_vs_plain\": "
            << jsonNumber(ratio(observed)) << ", \"profiled_vs_plain\": "
-           << jsonNumber(ratio(profiled)) << "}\n}\n";
+           << jsonNumber(ratio(profiled))
+           << ", \"memprofiled_vs_plain\": "
+           << jsonNumber(ratio(mem_profiled)) << "}\n}\n";
     });
     std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), bytes);
 }

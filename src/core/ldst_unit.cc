@@ -1,5 +1,6 @@
 #include "core/ldst_unit.hh"
 
+#include "obs/mem_profile.hh"
 #include "sim/check.hh"
 #include "sim/log.hh"
 
@@ -36,7 +37,8 @@ LdstUnit::allocBatch()
 
 void
 LdstUnit::pushBatch(Cycle now, int warp_id, std::int8_t reg, bool write,
-                    std::vector<Addr> lines)
+                    std::vector<Addr> lines, int kernel_id,
+                    std::int64_t cta_key)
 {
     (void)now;
     if (!canAcceptBatch())
@@ -51,6 +53,8 @@ LdstUnit::pushBatch(Cycle now, int warp_id, std::int8_t reg, bool write,
     batch.write = write;
     batch.pendingLines.assign(lines.begin(), lines.end());
     batch.outstanding = 0;
+    batch.kernelId = kernel_id;
+    batch.ctaKey = cta_key;
     batchQ_.push_back(id);
 }
 
@@ -104,7 +108,15 @@ LdstUnit::processLine(Cycle now)
         }
         if (mshr_.allocate(line, batch_id) != MshrOutcome::NewEntry)
             panic(name_, ": expected new L1 MSHR entry");
-        outgoing_.push_back({line, false, coreId_});
+        // A primary L1 read miss is the profiled unit: the record is
+        // born here and dies when the fill returns in onFill().
+        std::uint32_t req_id = 0;
+        if (memProfiler_ != nullptr) {
+            req_id = memProfiler_->beginRequest(now, coreId_,
+                                                batch.kernelId,
+                                                batch.ctaKey);
+        }
+        outgoing_.push_back({line, false, coreId_, req_id});
     } else {
         if (mshr_.allocate(line, batch_id) != MshrOutcome::Merged) {
             ++retryTagLookups_; // merge list full; retry next cycle
@@ -131,6 +143,11 @@ LdstUnit::processLine(Cycle now)
 void
 LdstUnit::tick(Cycle now)
 {
+    if (memProfiler_ != nullptr) {
+        memProfiler_->recordMshrOccupancy(MemLevel::L1,
+                                          mshr_.entriesInUse());
+    }
+
     // Return L1 hits whose latency elapsed.
     while (hitQ_.ready(now)) {
         const std::uint32_t batch_id = hitQ_.pop(now);
@@ -156,22 +173,34 @@ LdstUnit::tick(Cycle now)
 }
 
 void
-LdstUnit::onFill(Cycle now, Addr line_addr)
+LdstUnit::onFill(Cycle now, Addr line_addr, std::uint32_t req_id)
 {
+    // The requester's CTA owns the filled line (interference tracking).
+    const std::int64_t owner = memProfiler_ != nullptr
+        ? memProfiler_->ctaKeyOf(req_id)
+        : -1;
     // Fill the line unless a racing fill already inserted it.
     if (!tags_.probe(line_addr)) {
-        const Eviction ev = tags_.fill(line_addr, now);
+        const Eviction ev = tags_.fill(line_addr, now, false, owner);
         // Write-through L1: victims are always clean.
         if (ev.valid && ev.dirty)
             panic(name_, ": dirty eviction from write-through L1");
+        if (memProfiler_ != nullptr && ev.valid) {
+            memProfiler_->onEviction(MemLevel::L1, owner, ev.owner,
+                                     ev.distinctOwners);
+        }
     }
-    for (std::uint32_t batch_id : mshr_.complete(line_addr)) {
+    for (MshrWaiter waiter : mshr_.complete(line_addr)) {
+        const std::uint32_t batch_id = static_cast<std::uint32_t>(waiter);
         Batch& batch = batches_[batch_id];
         if (batch.outstanding == 0)
             panic(name_, ": fill for idle batch");
         --batch.outstanding;
         maybeComplete(batch_id, now);
     }
+    // The fill's delivery at the core ends the profiled request.
+    if (memProfiler_ != nullptr)
+        memProfiler_->endRequest(req_id, now);
 }
 
 std::vector<LoadCompletion>

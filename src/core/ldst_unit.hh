@@ -28,6 +28,8 @@
 
 namespace bsched {
 
+class MemProfiler;
+
 /** A finished load batch: release @p reg of @p warpId. */
 struct LoadCompletion
 {
@@ -94,15 +96,21 @@ class LdstUnit
     /**
      * Enqueue the line set of one issued memory instruction.
      * @param reg destination register (kNoReg for stores).
+     * @param kernel_id issuing warp's kernel (profiler attribution).
+     * @param cta_key issuing CTA's global key (makeCtaKey; -1 unknown).
      */
     void pushBatch(Cycle now, int warp_id, std::int8_t reg, bool write,
-                   std::vector<Addr> lines);
+                   std::vector<Addr> lines, int kernel_id = kInvalidId,
+                   std::int64_t cta_key = -1);
 
     /** Advance one cycle: service the head batch and the L1 hit queue. */
     void tick(Cycle now);
 
-    /** Deliver an L2 fill response (from the interconnect). */
-    void onFill(Cycle now, Addr line_addr);
+    /**
+     * Deliver an L2 fill response (from the interconnect). @p req_id is
+     * the profiler record the fill completes (0 untracked).
+     */
+    void onFill(Cycle now, Addr line_addr, std::uint32_t req_id = 0);
 
     /** Completed loads since the last drain; caller takes ownership. */
     std::vector<LoadCompletion> drainCompletions();
@@ -125,6 +133,14 @@ class LdstUnit
         tags_.setTracer(tracer, track);
     }
 
+    /**
+     * Attach the memory profiler (observability): L1 read misses open
+     * request records, fills close them, L1 evictions are attributed to
+     * CTAs and the L1 MSHR occupancy is sampled every cycle. Null
+     * detaches; the disabled cost is an untaken branch per event.
+     */
+    void setMemProfiler(MemProfiler* prof) { memProfiler_ = prof; }
+
     void addStats(StatSet& stats) const;
 
   private:
@@ -136,6 +152,8 @@ class LdstUnit
         bool write = false;
         std::deque<Addr> pendingLines;
         std::uint32_t outstanding = 0;
+        int kernelId = kInvalidId;   ///< profiler attribution
+        std::int64_t ctaKey = -1;    ///< profiler attribution
     };
 
     std::uint32_t allocBatch();
@@ -169,6 +187,9 @@ class LdstUnit
      * no processed line: accesses = processed + retries.
      */
     std::uint64_t retryTagLookups_ = 0;
+
+    // Observability (null = disabled).
+    MemProfiler* memProfiler_ = nullptr;
 };
 
 } // namespace bsched

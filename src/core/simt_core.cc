@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "kernel/mem_pattern.hh"
+#include "obs/mem_profile.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
 #include "sim/check.hh"
@@ -141,7 +142,7 @@ SimtCore::drainCompletedCtas()
 void
 SimtCore::deliverResponse(Cycle now, const MemResponse& response)
 {
-    ldst_.onFill(now, response.lineAddr);
+    ldst_.onFill(now, response.lineAddr, response.reqId);
 }
 
 bool
@@ -338,7 +339,9 @@ SimtCore::issueFrom(int warp_id, Cycle now)
                               warp.warpInCta, warp.cursor.iterKey(),
                               instr.activeLanes, config_.l1d.lineBytes);
         warp.sb.setPendingUntilRelease(instr.dst);
-        ldst_.pushBatch(now, warp_id, instr.dst, false, std::move(lines));
+        ldst_.pushBatch(now, warp_id, instr.dst, false, std::move(lines),
+                        warp.kernelId,
+                        makeCtaKey(warp.kernelId, warp.ctaId));
         ++memIssuedThisCycle_;
         ++issuedMem_;
         break;
@@ -348,7 +351,9 @@ SimtCore::issueFrom(int warp_id, Cycle now)
                               warp.kernel->geom(), warp.ctaId,
                               warp.warpInCta, warp.cursor.iterKey(),
                               instr.activeLanes, config_.l1d.lineBytes);
-        ldst_.pushBatch(now, warp_id, kNoReg, true, std::move(lines));
+        ldst_.pushBatch(now, warp_id, kNoReg, true, std::move(lines),
+                        warp.kernelId,
+                        makeCtaKey(warp.kernelId, warp.ctaId));
         ++memIssuedThisCycle_;
         ++issuedMem_;
         break;

@@ -27,6 +27,7 @@ namespace bsched {
 
 class Tracer;
 class CycleProfiler;
+class MemProfiler;
 
 /**
  * Why one warp could not issue this cycle — the reason warpReady()
@@ -159,6 +160,12 @@ class SimtCore
      * an untaken null-pointer branch per slot.
      */
     void setProfiler(CycleProfiler* profiler) { profiler_ = profiler; }
+
+    /**
+     * Attach the memory profiler (observability): forwarded to the
+     * LD/ST unit, which opens a request record per L1 read miss.
+     */
+    void setMemProfiler(MemProfiler* prof) { ldst_.setMemProfiler(prof); }
 
   private:
     struct HwCta

@@ -1,5 +1,6 @@
 #include "gpu/gpu.hh"
 
+#include "obs/mem_profile.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -31,6 +32,14 @@ Gpu::Gpu(const GpuConfig& config, Observer obs)
                                 toString(config_.warpSched));
         for (auto& core : cores_)
             core->setProfiler(obs_.profiler);
+    }
+    if (obs_.memProfiler != nullptr) {
+        obs_.memProfiler->onAttach(config_.numCores);
+        for (auto& core : cores_)
+            core->setMemProfiler(obs_.memProfiler);
+        for (auto& part : partitions_)
+            part->setMemProfiler(obs_.memProfiler);
+        icnt_.setMemProfiler(obs_.memProfiler);
     }
 }
 
@@ -261,13 +270,14 @@ Gpu::collectSample(Cycle now)
              SeriesKind::Gauge);
 
     std::uint64_t l2_access = 0, l2_miss = 0, l2_mshr = 0;
-    std::uint64_t row_hit = 0, row_miss = 0;
+    std::uint64_t row_hit = 0, row_miss = 0, row_conflict = 0;
     for (const auto& part : partitions_) {
         l2_access += part->l2().accesses();
         l2_miss += part->l2().misses();
         l2_mshr += part->l2Mshr().entriesInUse();
         row_hit += part->dram().rowHits();
         row_miss += part->dram().rowMisses();
+        row_conflict += part->dram().rowConflicts();
     }
     s.record("l2.access", static_cast<double>(l2_access),
              SeriesKind::Counter);
@@ -278,6 +288,8 @@ Gpu::collectSample(Cycle now)
     s.record("dram.row_hit", static_cast<double>(row_hit),
              SeriesKind::Counter);
     s.record("dram.row_miss", static_cast<double>(row_miss),
+             SeriesKind::Counter);
+    s.record("dram.row_conflict", static_cast<double>(row_conflict),
              SeriesKind::Counter);
 }
 

@@ -111,7 +111,7 @@ TagArray::markDirty(Addr line_addr)
 }
 
 Eviction
-TagArray::fill(Addr line_addr, Cycle now, bool dirty)
+TagArray::fill(Addr line_addr, Cycle now, bool dirty, std::int64_t owner)
 {
     // Fill pairing: a line is fetched once per outstanding miss, so a
     // second fill of a present line means the MSHR merge logic sent a
@@ -141,6 +141,26 @@ TagArray::fill(Addr line_addr, Cycle now, bool dirty)
         // Reconstruct the victim's full line address from tag and set.
         ev.lineAddr = (victim->tag * numSets_ + set) * lineBytes_;
         ev.dirty = victim->dirty;
+        ev.owner = victim->owner;
+        if (owner >= 0) {
+            // Interference profiling: count the distinct CTA owners
+            // resident in this set. Assoc-sized nested scan, only paid
+            // on tracked fills with a valid victim.
+            for (std::uint32_t w = 0; w < assoc_; ++w) {
+                const Line& cand = base[w];
+                if (!cand.valid || cand.owner < 0)
+                    continue;
+                bool seen = false;
+                for (std::uint32_t v = 0; v < w; ++v) {
+                    if (base[v].valid && base[v].owner == cand.owner) {
+                        seen = true;
+                        break;
+                    }
+                }
+                if (!seen)
+                    ++ev.distinctOwners;
+            }
+        }
         ++evictions_;
         if (victim->dirty)
             ++dirtyEvictions_;
@@ -150,6 +170,7 @@ TagArray::fill(Addr line_addr, Cycle now, bool dirty)
     victim->dirty = dirty;
     victim->lastUse = now;
     victim->seq = ++seqCounter_;
+    victim->owner = owner;
     ++fills_;
     return ev;
 }

@@ -27,6 +27,11 @@ struct Eviction
     bool valid = false;
     Addr lineAddr = 0;
     bool dirty = false;
+    /** CTA key that owned the victim line (-1 if untracked). */
+    std::int64_t owner = -1;
+    /** Distinct CTA owners resident in the set at eviction time
+     *  (0 unless the fill carried an owner — profiling only). */
+    std::uint32_t distinctOwners = 0;
 };
 
 /** Set-associative, true-LRU tag array. */
@@ -49,9 +54,13 @@ class TagArray
 
     /**
      * Insert @p line_addr (must be absent), evicting the set's LRU line
-     * if the set is full. Returns the eviction record.
+     * if the set is full. Returns the eviction record. @p owner is the
+     * filling CTA's key for interference attribution (-1 = untracked;
+     * the distinct-owner scan only runs for tracked fills, so the
+     * detached-profiler path does no extra work).
      */
-    Eviction fill(Addr line_addr, Cycle now, bool dirty = false);
+    Eviction fill(Addr line_addr, Cycle now, bool dirty = false,
+                  std::int64_t owner = -1);
 
     /** Invalidate everything (kernel boundary flush). */
     void flushAll();
@@ -87,6 +96,7 @@ class TagArray
         bool dirty = false;
         Cycle lastUse = 0;
         std::uint64_t seq = 0; ///< LRU tiebreak within one cycle
+        std::int64_t owner = -1; ///< filling CTA key (interference)
     };
 
     std::uint32_t setIndex(Addr line_addr) const;

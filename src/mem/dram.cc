@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/mem_profile.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
 
@@ -37,12 +38,14 @@ DramChannel::rowOf(Addr line_addr) const
 }
 
 void
-DramChannel::push(Cycle now, Addr line_addr, bool write)
+DramChannel::push(Cycle now, Addr line_addr, bool write,
+                  std::uint32_t req_id)
 {
     if (!canAccept())
         panic("dram ", name_, ": push into full queue");
     queue_.push_back({line_addr, write, now, bankOf(line_addr),
-                      static_cast<std::int64_t>(rowOf(line_addr))});
+                      static_cast<std::int64_t>(rowOf(line_addr)),
+                      req_id});
 }
 
 void
@@ -59,20 +62,28 @@ DramChannel::service(Cycle now, std::size_t queue_index)
         row_hit ? config_.rowHitLatency : config_.rowMissLatency;
     if (row_hit) {
         ++rowHits_;
+        ++bank.stats.rowHits;
     } else {
         ++rowMisses_;
-        if (tracer_ != nullptr && bank.openRow >= 0) {
+        ++bank.stats.rowMisses;
+        if (bank.openRow >= 0) {
             // A conflict proper: an open row had to be closed for this
             // request (first-touch row misses are not conflicts).
-            TraceEvent event;
-            event.cycle = now;
-            event.kind = TraceEventKind::DramRowConflict;
-            event.arg0 = static_cast<std::int64_t>(req.bank);
-            event.arg1 = row;
-            tracer_->record(track_, event);
+            ++rowConflicts_;
+            ++bank.stats.conflicts;
+            if (tracer_ != nullptr) {
+                TraceEvent event;
+                event.cycle = now;
+                event.kind = TraceEventKind::DramRowConflict;
+                event.arg0 = static_cast<std::int64_t>(req.bank);
+                event.arg1 = row;
+                tracer_->record(track_, event);
+            }
         }
     }
     bank.openRow = row;
+    if (memProfiler_ != nullptr)
+        memProfiler_->enterStage(req.reqId, MemStage::DramService, now);
 
     // Array access completes after the bank latency; the burst then
     // occupies the shared data bus.
@@ -150,6 +161,16 @@ DramChannel::addStats(StatSet& stats, const std::string& prefix) const
     stats.add(prefix + ".write", static_cast<double>(writes_));
     stats.add(prefix + ".row_hit", static_cast<double>(rowHits_));
     stats.add(prefix + ".row_miss", static_cast<double>(rowMisses_));
+    stats.add(prefix + ".row_conflict", static_cast<double>(rowConflicts_));
+    for (std::size_t b = 0; b < banks_.size(); ++b) {
+        const std::string bank = prefix + ".bank" + std::to_string(b);
+        stats.add(bank + ".row_hit",
+                  static_cast<double>(banks_[b].stats.rowHits));
+        stats.add(bank + ".row_miss",
+                  static_cast<double>(banks_[b].stats.rowMisses));
+        stats.add(bank + ".row_conflict",
+                  static_cast<double>(banks_[b].stats.conflicts));
+    }
 }
 
 } // namespace bsched

@@ -20,6 +20,7 @@
 
 namespace bsched {
 
+class MemProfiler;
 class Tracer;
 
 /** One DRAM channel (paired 1:1 with a memory partition). */
@@ -38,8 +39,12 @@ class DramChannel
     /** True if the request queue has room. */
     bool canAccept() const { return queue_.size() < config_.queueCapacity; }
 
-    /** Enqueue a line read/write. */
-    void push(Cycle now, Addr line_addr, bool write);
+    /**
+     * Enqueue a line read/write. @p req_id is the memory profiler's
+     * record id for the primary fetch this access serves (0 untracked).
+     */
+    void push(Cycle now, Addr line_addr, bool write,
+              std::uint32_t req_id = 0);
 
     /** Advance one cycle: possibly start servicing one request. */
     void tick(Cycle now);
@@ -63,6 +68,26 @@ class DramChannel
     std::uint64_t writes() const { return writes_; }
     std::uint64_t rowHits() const { return rowHits_; }
     std::uint64_t rowMisses() const { return rowMisses_; }
+    std::uint64_t rowConflicts() const { return rowConflicts_; }
+
+    /** Per-bank row-buffer outcome counters (index = bank). */
+    struct BankStats
+    {
+        std::uint64_t rowHits = 0;
+        std::uint64_t rowMisses = 0;
+        /** Row misses that closed an open row (not first touch). */
+        std::uint64_t conflicts = 0;
+    };
+
+    std::uint32_t numBanks() const
+    {
+        return static_cast<std::uint32_t>(banks_.size());
+    }
+
+    const BankStats& bankStats(std::uint32_t bank) const
+    {
+        return banks_.at(bank).stats;
+    }
 
     void addStats(StatSet& stats, const std::string& prefix) const;
 
@@ -73,6 +98,10 @@ class DramChannel
      */
     void setTracer(Tracer* tracer, std::uint32_t track);
 
+    /** Attach the memory profiler: serviced requests report their
+     *  DramQueue -> DramService transition. Null detaches. */
+    void setMemProfiler(MemProfiler* prof) { memProfiler_ = prof; }
+
   private:
     struct Request
     {
@@ -81,12 +110,14 @@ class DramChannel
         Cycle arrive = 0;
         std::uint32_t bank = 0;   ///< precomputed at push
         std::int64_t row = 0;     ///< precomputed at push
+        std::uint32_t reqId = 0;  ///< profiler record id (0 untracked)
     };
 
     struct Bank
     {
         std::int64_t openRow = -1;
         Cycle busyUntil = 0;
+        BankStats stats;
     };
 
     /** How many queue entries the scheduler scans for a row hit. */
@@ -108,9 +139,11 @@ class DramChannel
     std::uint64_t writes_ = 0;
     std::uint64_t rowHits_ = 0;
     std::uint64_t rowMisses_ = 0;
+    std::uint64_t rowConflicts_ = 0;
 
     Tracer* tracer_ = nullptr;
     std::uint32_t track_ = 0;
+    MemProfiler* memProfiler_ = nullptr;
 };
 
 } // namespace bsched

@@ -1,5 +1,6 @@
 #include "mem/interconnect.hh"
 
+#include "obs/mem_profile.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
 
@@ -43,6 +44,8 @@ Interconnect::sendRequest(Cycle now, const MemRequest& request)
     const std::uint32_t partition = partitionFor(request.lineAddr);
     requestQ_.at(partition).push(now, request);
     ++requestsSent_;
+    if (memProfiler_ != nullptr)
+        memProfiler_->enterStage(request.reqId, MemStage::NocRequest, now);
 }
 
 bool
@@ -75,6 +78,10 @@ Interconnect::sendResponse(Cycle now, std::uint32_t core,
 {
     responseQ_.at(core).push(now, response);
     ++responsesSent_;
+    if (memProfiler_ != nullptr) {
+        memProfiler_->enterStage(response.reqId, MemStage::NocResponse,
+                                 now);
+    }
 }
 
 bool

@@ -19,6 +19,8 @@
 
 namespace bsched {
 
+class MemProfiler;
+
 /** Crossbar-like network with latency and bandwidth, no routing detail. */
 class Interconnect
 {
@@ -62,6 +64,10 @@ class Interconnect
     /** True when nothing is in flight in either direction. */
     bool drained() const;
 
+    /** Attach the memory profiler: injected messages report their
+     *  noc_req / noc_resp stage transitions. Null detaches. */
+    void setMemProfiler(MemProfiler* prof) { memProfiler_ = prof; }
+
     void addStats(StatSet& stats) const;
 
   private:
@@ -76,6 +82,7 @@ class Interconnect
     std::vector<BandwidthThrottle> responseBw_; ///< per core ejection
     std::uint64_t requestsSent_ = 0;
     std::uint64_t responsesSent_ = 0;
+    MemProfiler* memProfiler_ = nullptr;
 };
 
 } // namespace bsched

@@ -19,6 +19,8 @@ struct MemRequest
     Addr lineAddr = 0;
     bool write = false;
     std::uint16_t coreId = 0;
+    /** Memory-profiler record id; 0 (the default) means untracked. */
+    std::uint32_t reqId = 0;
 };
 
 /** A read-fill response from a partition to a core. */
@@ -26,6 +28,8 @@ struct MemResponse
 {
     Addr lineAddr = 0;
     std::uint16_t coreId = 0;
+    /** Memory-profiler record id carried back from the request. */
+    std::uint32_t reqId = 0;
 };
 
 } // namespace bsched

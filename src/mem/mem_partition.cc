@@ -1,5 +1,6 @@
 #include "mem/mem_partition.hh"
 
+#include "obs/mem_profile.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
 
@@ -26,6 +27,13 @@ MemPartition::setTracer(Tracer* tracer)
 }
 
 void
+MemPartition::setMemProfiler(MemProfiler* prof)
+{
+    memProfiler_ = prof;
+    dram_.setMemProfiler(prof);
+}
+
+void
 MemPartition::pushRequest(Cycle now, const MemRequest& request)
 {
     input_.push(now, request);
@@ -33,6 +41,8 @@ MemPartition::pushRequest(Cycle now, const MemRequest& request)
         ++writeRequests_;
     else
         ++readRequests_;
+    if (memProfiler_ != nullptr)
+        memProfiler_->enterStage(request.reqId, MemStage::L2Queue, now);
 }
 
 void
@@ -47,14 +57,38 @@ MemPartition::handleDramResponses(Cycle now)
 {
     while (dram_.responseReady(now)) {
         const Addr line = dram_.popResponse(now);
-        evictIfDirty(tags_.fill(line, now));
-        for (std::uint32_t waiter : mshr_.complete(line)) {
+        // Waiters first: the fill's CTA owner (for interference
+        // attribution) is the primary requester's, and the primary is
+        // the oldest waiter with a tracked request id.
+        const std::vector<MshrWaiter> waiters = mshr_.complete(line);
+        std::int64_t owner = -1;
+        if (memProfiler_ != nullptr) {
+            for (MshrWaiter waiter : waiters) {
+                if (waiter == kWriteWaiter || waiterReqId(waiter) == 0)
+                    continue;
+                owner = memProfiler_->ctaKeyOf(waiterReqId(waiter));
+                break;
+            }
+        }
+        const Eviction ev = tags_.fill(line, now, false, owner);
+        evictIfDirty(ev);
+        if (memProfiler_ != nullptr && ev.valid) {
+            memProfiler_->onEviction(MemLevel::L2, owner, ev.owner,
+                                     ev.distinctOwners);
+        }
+        for (MshrWaiter waiter : waiters) {
             if (waiter == kWriteWaiter) {
                 tags_.markDirty(line);
-            } else {
-                replies_.push_back(
-                    {line, static_cast<std::uint16_t>(waiter)});
+                continue;
             }
+            // The fill closes the primary's dram_svc stage and every
+            // merged secondary's l2_mshr stage.
+            if (memProfiler_ != nullptr) {
+                memProfiler_->enterStage(waiterReqId(waiter),
+                                         MemStage::L2Return, now);
+            }
+            replies_.push_back({line, waiterCore(waiter),
+                                waiterReqId(waiter)});
         }
     }
 }
@@ -67,13 +101,18 @@ MemPartition::handleRequest(Cycle now, const MemRequest& req)
         if (req.write) {
             tags_.markDirty(req.lineAddr);
         } else {
-            replies_.push_back({req.lineAddr, req.coreId});
+            if (memProfiler_ != nullptr) {
+                memProfiler_->enterStage(req.reqId, MemStage::L2Return,
+                                         now);
+            }
+            replies_.push_back({req.lineAddr, req.coreId, req.reqId});
         }
         return true;
     }
 
     // Miss: reads wait on the fill; writes allocate via fetch-on-write.
-    const std::uint32_t waiter = req.write ? kWriteWaiter : req.coreId;
+    const MshrWaiter waiter =
+        req.write ? kWriteWaiter : packWaiter(req.reqId, req.coreId);
     if (!mshr_.has(req.lineAddr)) {
         // Primary miss needs both an MSHR entry and DRAM queue space.
         if (mshr_.full() || !dram_.canAccept()) {
@@ -82,11 +121,19 @@ MemPartition::handleRequest(Cycle now, const MemRequest& req)
         }
         if (mshr_.allocate(req.lineAddr, waiter) != MshrOutcome::NewEntry)
             panic("l2 ", name_, ": expected new MSHR entry");
-        dram_.push(now, req.lineAddr, false);
+        dram_.push(now, req.lineAddr, false, req.write ? 0 : req.reqId);
+        if (memProfiler_ != nullptr && !req.write) {
+            memProfiler_->enterStage(req.reqId, MemStage::DramQueue,
+                                     now);
+        }
         return true;
     }
     switch (mshr_.allocate(req.lineAddr, waiter)) {
       case MshrOutcome::Merged:
+        // Secondary miss rides the in-flight fetch.
+        if (memProfiler_ != nullptr && !req.write) {
+            memProfiler_->enterStage(req.reqId, MemStage::L2Mshr, now);
+        }
         return true;
       case MshrOutcome::FullEntry:
         ++stallCycles_;
@@ -99,6 +146,10 @@ MemPartition::handleRequest(Cycle now, const MemRequest& req)
 void
 MemPartition::tick(Cycle now)
 {
+    if (memProfiler_ != nullptr) {
+        memProfiler_->recordMshrOccupancy(MemLevel::L2,
+                                          mshr_.entriesInUse());
+    }
     dram_.tick(now);
     handleDramResponses(now);
 

@@ -21,6 +21,8 @@
 
 namespace bsched {
 
+class MemProfiler;
+
 /** L2 bank + DRAM channel. */
 class MemPartition
 {
@@ -61,11 +63,41 @@ class MemPartition
      */
     void setTracer(Tracer* tracer);
 
+    /**
+     * Attach the memory profiler: requests report their L2-side stage
+     * transitions (l2_q / dram_q / l2_mshr / l2_ret), L2 fills carry
+     * CTA owners for eviction attribution, and the L2 MSHR occupancy is
+     * sampled every cycle. Null detaches.
+     */
+    void setMemProfiler(MemProfiler* prof);
+
     void addStats(StatSet& stats) const;
 
   private:
     /** Waiter token marking a write-allocate fetch (no reply needed). */
-    static constexpr std::uint32_t kWriteWaiter = 0xffffffffu;
+    static constexpr MshrWaiter kWriteWaiter = ~MshrWaiter{0};
+
+    /**
+     * Read waiters pack the profiler request id above the core id so a
+     * fill can address its reply and close the request's stage.
+     */
+    static MshrWaiter
+    packWaiter(std::uint32_t req_id, std::uint16_t core_id)
+    {
+        return (static_cast<MshrWaiter>(req_id) << 16) | core_id;
+    }
+
+    static std::uint16_t
+    waiterCore(MshrWaiter waiter)
+    {
+        return static_cast<std::uint16_t>(waiter & 0xffffu);
+    }
+
+    static std::uint32_t
+    waiterReqId(MshrWaiter waiter)
+    {
+        return static_cast<std::uint32_t>(waiter >> 16);
+    }
 
     /** Requests the L2 pipeline accepts per cycle. */
     static constexpr unsigned kL2PortsPerCycle = 2;
@@ -90,6 +122,8 @@ class MemPartition
     std::uint64_t readRequests_ = 0;
     std::uint64_t writeRequests_ = 0;
     std::uint64_t stallCycles_ = 0;
+
+    MemProfiler* memProfiler_ = nullptr;
 };
 
 } // namespace bsched

@@ -14,7 +14,7 @@ MshrFile::MshrFile(std::uint32_t entries, std::uint32_t max_merged,
 }
 
 MshrOutcome
-MshrFile::allocate(Addr line_addr, std::uint32_t waiter)
+MshrFile::allocate(Addr line_addr, MshrWaiter waiter)
 {
     auto it = map_.find(line_addr);
     if (it != map_.end()) {
@@ -32,7 +32,7 @@ MshrFile::allocate(Addr line_addr, std::uint32_t waiter)
         ++fullFileStalls_;
         return MshrOutcome::FullFile;
     }
-    map_.emplace(line_addr, std::vector<std::uint32_t>{waiter});
+    map_.emplace(line_addr, std::vector<MshrWaiter>{waiter});
     ++allocs_;
     // Conservation: every allocated entry is either still outstanding or
     // has been completed exactly once.
@@ -49,7 +49,7 @@ MshrFile::has(Addr line_addr) const
     return map_.find(line_addr) != map_.end();
 }
 
-std::vector<std::uint32_t>
+std::vector<MshrWaiter>
 MshrFile::complete(Addr line_addr)
 {
     // A fill for a line nobody asked for — or a second fill after the
@@ -64,7 +64,7 @@ MshrFile::complete(Addr line_addr)
         panic("mshr ", name_, ": complete of unknown line");
     BSCHED_INVARIANT(!it->second.empty(), "mshr ", name_,
                      ": completing entry with no waiters");
-    std::vector<std::uint32_t> waiters = std::move(it->second);
+    std::vector<MshrWaiter> waiters = std::move(it->second);
     map_.erase(it);
     ++completes_;
     BSCHED_INVARIANT(allocs_ == completes_ + entriesInUse(), "mshr ", name_,

@@ -2,8 +2,8 @@
  * @file
  * Miss Status Holding Registers. An MSHR file tracks outstanding miss
  * lines and merges secondary misses onto the primary. Waiters are opaque
- * 32-bit tokens owned by the client (the core's LD/ST unit uses access-
- * batch indices; the L2 uses packed core ids).
+ * 64-bit tokens owned by the client (the core's LD/ST unit uses access-
+ * batch indices; the L2 packs a profiler request id and a core id).
  */
 
 #ifndef BSCHED_MEM_MSHR_HH
@@ -28,6 +28,9 @@ enum class MshrOutcome
     FullFile,  ///< no free entries -> retry
 };
 
+/** Opaque waiter token stored per merged miss (client-defined). */
+using MshrWaiter = std::uint64_t;
+
 /** MSHR file with per-line merge capacity. */
 class MshrFile
 {
@@ -40,7 +43,7 @@ class MshrFile
              std::string name);
 
     /** Try to record a miss for @p line_addr with @p waiter. */
-    MshrOutcome allocate(Addr line_addr, std::uint32_t waiter);
+    MshrOutcome allocate(Addr line_addr, MshrWaiter waiter);
 
     /** True if a fetch for @p line_addr is already outstanding. */
     bool has(Addr line_addr) const;
@@ -49,7 +52,7 @@ class MshrFile
      * Complete the fetch of @p line_addr: removes the entry and returns
      * its waiters (panic() if absent).
      */
-    std::vector<std::uint32_t> complete(Addr line_addr);
+    std::vector<MshrWaiter> complete(Addr line_addr);
 
     std::uint32_t entriesInUse() const
     {
@@ -69,7 +72,7 @@ class MshrFile
      * deterministic — an unordered_map here would let hash order leak
      * into anything that ever walks the outstanding set.
      */
-    std::map<Addr, std::vector<std::uint32_t>> map_;
+    std::map<Addr, std::vector<MshrWaiter>> map_;
     std::uint64_t allocs_ = 0;
     std::uint64_t merges_ = 0;
     std::uint64_t completes_ = 0;

@@ -14,6 +14,7 @@ namespace bsched {
 class Tracer;
 class IntervalSampler;
 class CycleProfiler;
+class MemProfiler;
 
 /** Non-owning observability hooks handed to Gpu at construction. */
 struct Observer
@@ -21,11 +22,12 @@ struct Observer
     Tracer* tracer = nullptr;
     IntervalSampler* sampler = nullptr;
     CycleProfiler* profiler = nullptr;
+    MemProfiler* memProfiler = nullptr;
 
     bool enabled() const
     {
         return tracer != nullptr || sampler != nullptr ||
-            profiler != nullptr;
+            profiler != nullptr || memProfiler != nullptr;
     }
 };
 

@@ -32,7 +32,7 @@ mshrFingerprint(MshrFile& mshr, const std::vector<Addr>& lines)
     writeStatsCsv(os, stats);
     for (Addr line : lines) {
         os << std::hex << line << ":";
-        for (std::uint32_t waiter : mshr.complete(line))
+        for (MshrWaiter waiter : mshr.complete(line))
             os << waiter << ",";
         os << "\n";
     }

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "mem/dram.hh"
+#include "sim/stats.hh"
 
 namespace bsched {
 namespace {
@@ -145,6 +146,64 @@ TEST(Dram, BankAndRowDecompositionWithPartitionStride)
     EXPECT_EQ(dram.bankOf(48 * 128), 1u);
     // Local line 32 -> bank 0, row 1.
     EXPECT_EQ(dram.bankOf(32 * 6 * 128 / 6), dram.bankOf(line(32 * 6)));
+}
+
+TEST(Dram, PerBankStatsSumToChannelTotalsAndExport)
+{
+    DramChannel dram(cfg(), 128, 1, "d");
+    Cycle t = 0;
+    const auto access = [&](std::uint64_t i) {
+        dram.push(t, line(i), false);
+        dram.tick(t);
+        while (!dram.responseReady(t))
+            ++t;
+        EXPECT_EQ(dram.popResponse(t), line(i));
+        ++t;
+    };
+    // cfg(): 8 lines/row, 4 banks -> bank = (i/8) % 4, row = i/32.
+    access(0);  // bank0 row0: miss, bank idle -> no conflict
+    access(1);  // bank0 row0: hit
+    access(32); // bank0 row1: miss closing open row0 -> conflict
+    access(8);  // bank1 row0: miss, bank idle -> no conflict
+
+    EXPECT_EQ(dram.numBanks(), 4u);
+    ASSERT_LT(2u, dram.numBanks());
+    EXPECT_EQ(dram.bankStats(0).rowHits, 1u);
+    EXPECT_EQ(dram.bankStats(0).rowMisses, 2u);
+    EXPECT_EQ(dram.bankStats(0).conflicts, 1u);
+    EXPECT_EQ(dram.bankStats(1).rowMisses, 1u);
+    EXPECT_EQ(dram.bankStats(1).conflicts, 0u);
+
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t conflicts = 0;
+    for (std::uint32_t b = 0; b < dram.numBanks(); ++b) {
+        hits += dram.bankStats(b).rowHits;
+        misses += dram.bankStats(b).rowMisses;
+        conflicts += dram.bankStats(b).conflicts;
+    }
+    EXPECT_EQ(hits, dram.rowHits());
+    EXPECT_EQ(misses, dram.rowMisses());
+    EXPECT_EQ(conflicts, dram.rowConflicts());
+
+    StatSet stats;
+    dram.addStats(stats, "dram");
+    EXPECT_EQ(stats.get("dram.row_conflict"), 1.0);
+    EXPECT_EQ(stats.get("dram.bank0.row_hit"), 1.0);
+    EXPECT_EQ(stats.get("dram.bank0.row_miss"), 2.0);
+    EXPECT_EQ(stats.get("dram.bank0.row_conflict"), 1.0);
+    EXPECT_EQ(stats.get("dram.bank3.row_miss"), 0.0);
+}
+
+TEST(Dram, RowConflictNeedsAnOpenRow)
+{
+    // A conflict is a row *switch*: the first miss into an idle bank
+    // opens a row without closing one and must not count.
+    DramChannel dram(cfg(), 128, 1, "d");
+    dram.push(0, line(0), false);
+    dram.tick(0);
+    EXPECT_EQ(dram.rowMisses(), 1u);
+    EXPECT_EQ(dram.rowConflicts(), 0u);
 }
 
 TEST(Dram, PushIntoFullQueueDies)

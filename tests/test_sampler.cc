@@ -156,6 +156,7 @@ TEST(IntervalSampler, CounterSeriesEndAtStatSetTotals)
         {"l2.miss", ".l2.miss"},
         {"dram.row_hit", ".dram.row_hit"},
         {"dram.row_miss", ".dram.row_miss"},
+        {"dram.row_conflict", ".dram.row_conflict"},
     };
     for (const auto& [series, suffix] : totals) {
         const SampleSeries* s = sampler.find(series);

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Compare two benchmark artifacts and flag regressions.
+
+Diffs a *current* artifact against a *baseline* artifact of the same
+schema and prints a per-metric delta table. Two schemas are understood:
+
+``bsched-simspeed-v1``
+    Simulation-throughput artifact from ``micro_simspeed --emit-json``.
+    The compared metric is ``sim_cycles_per_s`` per observer mode
+    (higher is better); only a *slowdown* beyond the tolerance is a
+    regression, because absolute rates are machine-dependent and
+    speedups are never a problem.
+
+``bsched-bench-v1``
+    Figure artifact from any bench binary's ``--emit-json``. Rows are
+    matched by label and compared field by field; named metrics are
+    compared key by key. The simulator is bit-deterministic, so *any*
+    relative change beyond the tolerance — in either direction — is
+    flagged: a faster IPC you did not expect is as much a model change
+    as a slower one. Added/removed rows, metrics and modes are reported
+    but never fail the comparison (artifacts legitimately grow).
+
+Exit status: 0 when the artifacts match within tolerance (or
+``--warn-only`` was given), 1 when at least one metric regressed, 2 on
+usage/schema errors. With ``--github``, flagged lines are also emitted
+as ``::warning``/``::error`` workflow commands so they surface in the
+GitHub UI; CI's perf-smoke job runs this script warn-only against the
+committed ``bench/BENCH_simspeed.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+KNOWN_SCHEMAS = ("bsched-simspeed-v1", "bsched-bench-v1")
+
+
+def usage_error(message: str) -> None:
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load_artifact(path: Path) -> dict:
+    try:
+        artifact = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        usage_error(f"cannot read {path}: {err}")
+    schema = artifact.get("schema")
+    if schema not in KNOWN_SCHEMAS:
+        usage_error(f"{path}: unknown schema {schema!r} "
+                    f"(known: {', '.join(KNOWN_SCHEMAS)})")
+    return artifact
+
+
+class Comparison:
+    """Accumulates per-metric deltas and the flagged subset."""
+
+    def __init__(self, tolerance: float):
+        self.tolerance = tolerance
+        self.lines: list[str] = []
+        self.flagged: list[str] = []
+        self.notes: list[str] = []
+
+    def compare(self, name: str, base: float, cur: float,
+                lower_is_regression_only: bool = False) -> None:
+        if base == cur:
+            delta = 0.0
+        elif base == 0:
+            delta = float("inf") if cur > 0 else float("-inf")
+        else:
+            delta = cur / base - 1.0
+        line = f"{name}: {base:g} -> {cur:g} ({delta:+.2%})"
+        regressed = (delta < -self.tolerance) if lower_is_regression_only \
+            else (abs(delta) > self.tolerance)
+        self.lines.append(line)
+        if regressed:
+            self.flagged.append(line)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+
+def compare_simspeed(base: dict, cur: dict, cmp: Comparison) -> None:
+    base_modes, cur_modes = base.get("modes", {}), cur.get("modes", {})
+    for mode in base_modes:
+        if mode not in cur_modes:
+            cmp.note(f"mode '{mode}' missing from current artifact")
+            continue
+        cmp.compare(
+            f"modes.{mode}.sim_cycles_per_s",
+            base_modes[mode]["sim_cycles_per_s"],
+            cur_modes[mode]["sim_cycles_per_s"],
+            lower_is_regression_only=True,
+        )
+    for mode in cur_modes:
+        if mode not in base_modes:
+            cmp.note(f"mode '{mode}' only in current artifact")
+    # Relative rates are machine-independent observer overheads; report
+    # them (lower = more overhead) but judge by the same slowdown rule.
+    base_rel = base.get("relative_rate", {})
+    cur_rel = cur.get("relative_rate", {})
+    for key in base_rel:
+        if key in cur_rel:
+            cmp.compare(f"relative_rate.{key}", base_rel[key],
+                        cur_rel[key], lower_is_regression_only=True)
+
+
+def compare_bench(base: dict, cur: dict, cmp: Comparison) -> None:
+    base_rows = {row["label"]: row for row in base.get("rows", [])}
+    cur_rows = {row["label"]: row for row in cur.get("rows", [])}
+    for label, brow in base_rows.items():
+        crow = cur_rows.get(label)
+        if crow is None:
+            cmp.note(f"row '{label}' missing from current artifact")
+            continue
+        for field, bval in brow.items():
+            if field == "label" or not isinstance(bval, (int, float)):
+                continue
+            if field in crow:
+                cmp.compare(f"rows[{label}].{field}", bval, crow[field])
+    for label in cur_rows:
+        if label not in base_rows:
+            cmp.note(f"row '{label}' only in current artifact")
+
+    base_metrics = base.get("metrics", {})
+    cur_metrics = cur.get("metrics", {})
+    for key, bval in base_metrics.items():
+        if key not in cur_metrics:
+            cmp.note(f"metric '{key}' missing from current artifact")
+        elif isinstance(bval, (int, float)):
+            cmp.compare(f"metrics.{key}", bval, cur_metrics[key])
+    for key in cur_metrics:
+        if key not in base_metrics:
+            cmp.note(f"metric '{key}' only in current artifact")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two bsched benchmark artifacts, flag regressions"
+    )
+    parser.add_argument("baseline", type=Path,
+                        help="baseline artifact (e.g. the committed one)")
+    parser.add_argument("current", type=Path,
+                        help="current artifact to judge")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="relative delta beyond which a metric is flagged "
+             "(default: 0.20)",
+    )
+    parser.add_argument(
+        "--warn-only", action="store_true",
+        help="report regressions but exit 0 (CI perf-smoke mode)",
+    )
+    parser.add_argument(
+        "--github", action="store_true",
+        help="emit ::warning/::error workflow commands for flagged lines",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only flagged metrics and notes, not every delta",
+    )
+    args = parser.parse_args()
+
+    base = load_artifact(args.baseline)
+    cur = load_artifact(args.current)
+    if base["schema"] != cur["schema"]:
+        usage_error(f"schema mismatch: {args.baseline} is "
+                    f"{base['schema']}, {args.current} is {cur['schema']}")
+
+    cmp = Comparison(args.tolerance)
+    if base["schema"] == "bsched-simspeed-v1":
+        compare_simspeed(base, cur, cmp)
+    else:
+        compare_bench(base, cur, cmp)
+
+    if not args.quiet:
+        for line in cmp.lines:
+            marker = "  ! " if line in cmp.flagged else "    "
+            print(f"{marker}{line}")
+    for note in cmp.notes:
+        print(f"  ~ {note}")
+
+    if cmp.flagged:
+        severity = "warning" if args.warn_only else "error"
+        print(f"bench compare: {len(cmp.flagged)} metric(s) beyond "
+              f"{args.tolerance:.0%} tolerance "
+              f"({len(cmp.lines)} compared):")
+        for line in cmp.flagged:
+            print(f"  ! {line}")
+            if args.github:
+                print(f"::{severity} title=bench regression::{line}")
+        return 0 if args.warn_only else 1
+
+    print(f"bench compare: OK — {len(cmp.lines)} metric(s) within "
+          f"{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
