@@ -67,6 +67,11 @@ parseArgs(int argc, char** argv)
             opts.memProfilePath = arg + 14;
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
+        } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
+            // Escape hatch: force plain cycle-by-cycle stepping in every
+            // simulation this process runs (results are byte-identical
+            // either way; this exists to prove exactly that).
+            setDefaultFastForward(false);
         } else if (std::strcmp(arg, "--emit-json") == 0) {
             opts.emitJsonPath = next("--emit-json");
         } else if (std::strncmp(arg, "--emit-json=", 12) == 0) {
@@ -85,7 +90,8 @@ parseArgs(int argc, char** argv)
             fatal("unknown argument '", arg,
                   "' (figures accept --jobs N, --trace FILE, "
                   "--profile FILE, --mem-profile FILE, --emit-json FILE, "
-                  "--sample-every N, --progress, --log LEVEL)");
+                  "--sample-every N, --progress, --no-fast-forward, "
+                  "--log LEVEL)");
         }
     }
     opts.jobs = resolveJobs(requested);

@@ -56,9 +56,11 @@ struct BenchOptions
  * Parse the shared bench command line. Recognizes "--jobs N" /
  * "--jobs=N" / "-jN", "--trace FILE", "--profile FILE",
  * "--mem-profile FILE", "--emit-json FILE", "--sample-every N",
- * "--progress" (also the BSCHED_PROGRESS environment variable) and
- * "--log LEVEL" (also BSCHED_LOG); anything else is fatal() so a typo
- * doesn't silently fall back to defaults.
+ * "--progress" (also the BSCHED_PROGRESS environment variable),
+ * "--no-fast-forward" (force plain cycle-by-cycle stepping; results
+ * are byte-identical either way) and "--log LEVEL" (also BSCHED_LOG);
+ * anything else is fatal() so a typo doesn't silently fall back to
+ * defaults.
  */
 BenchOptions parseArgs(int argc, char** argv);
 

@@ -14,19 +14,25 @@
  * `--emit-json FILE` additionally writes a `bsched-simspeed-v1`
  * artifact: the sim rate of the small kernel bare, with the
  * tracer+sampler stack, with the cycle-accounting profiler, and with
- * the request-level memory profiler. The committed
- * bench/BENCH_simspeed.json baseline is produced this way and CI's
- * perf-smoke step diffs a fresh artifact against it with
- * tools/bench_compare.py (warn-only).
+ * the request-level memory profiler, plus a `fast_forward` section
+ * timing an idle-heavy and a fully-busy microkernel with idle
+ * fast-forward on and off. The committed bench/BENCH_simspeed.json
+ * baseline is produced this way and CI's perf-smoke step diffs a fresh
+ * artifact against it with tools/bench_compare.py, which hard-gates
+ * the machine-independent ratios (fast-forward speedups, profiler
+ * overhead budgets).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "gpu/gpu.hh"
 #include "harness/parallel_runner.hh"
@@ -59,6 +65,52 @@ smallKernel()
     in.base = 0x1000000;
     const auto i = builder.pattern(in);
     builder.loop(16).load(i).alu(4).endLoop();
+    k.program = builder.build();
+    return k;
+}
+
+/**
+ * Idle-heavy microkernel: a single warp chasing dependent long-latency
+ * loads on an otherwise empty GPU. With exactly one request in flight
+ * at a time every memory hop (interconnect, L2, DRAM, return path) is
+ * a quiet span of the full hop latency, so the overwhelming majority
+ * of cycles are elidable. This is the idle fast-forward showcase — and
+ * with fast-forward off, the worst case for the plain tick loop.
+ */
+KernelInfo
+idleHeavyKernel()
+{
+    KernelInfo k;
+    k.name = "idle_heavy";
+    k.grid = {1, 1, 1};
+    k.cta = {32, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder builder;
+    MemPattern in;
+    in.kind = AccessKind::Coalesced;
+    in.base = 0x2000000;
+    const auto i = builder.pattern(in);
+    builder.loop(256).load(i).alu(1).endLoop();
+    k.program = builder.build();
+    return k;
+}
+
+/**
+ * Fully-busy microkernel: maximum-occupancy pure-ALU CTAs that issue
+ * every cycle on every core. Fast-forward never fires here, so the
+ * ff_on/ff_off ratio bounds the overhead of the quiet-cycle gate
+ * itself.
+ */
+KernelInfo
+busyKernel()
+{
+    KernelInfo k;
+    k.name = "busy";
+    k.grid = {60, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 16;
+    ProgramBuilder builder;
+    builder.loop(64).alu(1).endLoop();
     k.program = builder.build();
     return k;
 }
@@ -234,6 +286,9 @@ extractJobsArg(int& argc, char** argv, std::string& emit_json)
         } else if (std::strncmp(arg, "--emit-json=", 12) == 0) {
             emit_json = arg + 12;
             continue;
+        } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
+            setDefaultFastForward(false);
+            continue;
         }
         if (value != nullptr) {
             const long parsed = std::strtol(value, nullptr, 10);
@@ -251,10 +306,18 @@ extractJobsArg(int& argc, char** argv, std::string& emit_json)
 /** One measured simulator configuration for the simspeed artifact. */
 struct RateSample
 {
-    double simCyclesPerSec = 0.0;
+    double simCyclesPerSec = 0.0;       ///< best trial
     std::uint64_t cyclesPerRep = 0;
-    double wallSec = 0.0;
+    double wallSec = 0.0;               ///< wall time of the best trial
+    std::vector<double> trialRates;     ///< every trial, in time order
 };
+
+/**
+ * Timed trials per measured configuration. The artifact's gated ratios
+ * are medians over per-trial pairs (pairedRatio below), so this is
+ * also the sample count behind every overhead/speedup figure.
+ */
+constexpr int kRateTrials = 5;
 
 /** Which observers the measured runs attach. */
 enum class ObsMode
@@ -265,59 +328,126 @@ enum class ObsMode
     MemProfiled  ///< memory profiler only (as --mem-profile runs)
 };
 
+/** One complete simulation with the observers of @p mode attached. */
+std::uint64_t
+simulateOnce(const GpuConfig& config, const KernelInfo& kernel, ObsMode mode)
+{
+    // Construct only the observers the mode attaches: an idle
+    // Tracer still allocates its event buffers, which would bill a
+    // constant per-rep cost against every mode — enough to distort
+    // the short fast-forwarded reps this function times.
+    std::unique_ptr<Tracer> tracer;
+    std::unique_ptr<IntervalSampler> sampler;
+    std::unique_ptr<CycleProfiler> profiler;
+    std::unique_ptr<MemProfiler> mem_profiler;
+    Observer obs;
+    if (mode == ObsMode::Observed) {
+        tracer = std::make_unique<Tracer>(config.numCores,
+                                          config.numMemPartitions);
+        sampler = std::make_unique<IntervalSampler>(512);
+        obs.tracer = tracer.get();
+        obs.sampler = sampler.get();
+    } else if (mode == ObsMode::Profiled) {
+        profiler = std::make_unique<CycleProfiler>();
+        obs.profiler = profiler.get();
+    } else if (mode == ObsMode::MemProfiled) {
+        mem_profiler = std::make_unique<MemProfiler>();
+        obs.memProfiler = mem_profiler.get();
+    }
+    Gpu gpu(config, obs);
+    gpu.launchKernel(kernel);
+    gpu.run();
+    return gpu.cycle();
+}
+
+/** One measurement request for measureInterleaved(). */
+struct RatePoint
+{
+    const GpuConfig* config = nullptr;
+    const KernelInfo* kernel = nullptr;
+    ObsMode mode = ObsMode::Plain;
+};
+
 /**
- * Time @p reps simulations of @p kernel with the observers selected by
- * @p mode (after one untimed warmup run) and return the achieved
- * simulated-cycles-per-wall-second.
+ * Time @p reps simulations of every point, kRateTrials trials each,
+ * with the trial loop on the *outside*: trial t of every point runs
+ * back-to-back before trial t+1 of any. Ratios between two points'
+ * same-index trials therefore compare measurements taken milliseconds
+ * apart — see pairedRatio() for why that matters.
  */
-RateSample
-measureSimRate(const GpuConfig& config, const KernelInfo& kernel, int reps,
-               ObsMode mode)
+std::vector<RateSample>
+measureInterleaved(const std::vector<RatePoint>& points, int reps)
 {
     using Clock = std::chrono::steady_clock;
-    auto simulate = [&]() -> std::uint64_t {
-        Tracer tracer(config.numCores, config.numMemPartitions);
-        IntervalSampler sampler(512);
-        CycleProfiler profiler;
-        MemProfiler mem_profiler;
-        Observer obs;
-        if (mode == ObsMode::Observed) {
-            obs.tracer = &tracer;
-            obs.sampler = &sampler;
-        } else if (mode == ObsMode::Profiled) {
-            obs.profiler = &profiler;
-        } else if (mode == ObsMode::MemProfiled) {
-            obs.memProfiler = &mem_profiler;
-        }
-        Gpu gpu(config, obs);
-        gpu.launchKernel(kernel);
-        gpu.run();
-        return gpu.cycle();
-    };
-
-    RateSample sample;
-    sample.cyclesPerRep = simulate(); // warmup, also pins the cycle count
-    const Clock::time_point t0 = Clock::now();
-    std::uint64_t total_cycles = 0;
-    for (int rep = 0; rep < reps; ++rep)
-        total_cycles += simulate();
-    sample.wallSec =
-        std::chrono::duration<double>(Clock::now() - t0).count();
-    if (sample.wallSec > 0.0) {
-        sample.simCyclesPerSec =
-            static_cast<double>(total_cycles) / sample.wallSec;
+    std::vector<RateSample> samples(points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        // Warmup, also pins the per-rep cycle count.
+        samples[i].cyclesPerRep = simulateOnce(
+            *points[i].config, *points[i].kernel, points[i].mode);
     }
-    return sample;
+    for (int trial = 0; trial < kRateTrials; ++trial) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const Clock::time_point t0 = Clock::now();
+            std::uint64_t total_cycles = 0;
+            for (int rep = 0; rep < reps; ++rep) {
+                total_cycles += simulateOnce(*points[i].config,
+                                             *points[i].kernel,
+                                             points[i].mode);
+            }
+            const double wall =
+                std::chrono::duration<double>(Clock::now() - t0).count();
+            if (wall <= 0.0)
+                continue;
+            const double rate = static_cast<double>(total_cycles) / wall;
+            RateSample& sample = samples[i];
+            sample.trialRates.push_back(rate);
+            if (rate > sample.simCyclesPerSec) {
+                sample.simCyclesPerSec = rate;
+                sample.wallSec = wall;
+            }
+        }
+    }
+    return samples;
+}
+
+/**
+ * Robust ratio of two rate measurements: the median of the per-trial
+ * rate ratios (trial i of @p num against trial i of @p den). The two
+ * mode's trials are interleaved in time by the caller, so host-speed
+ * drift — the dominant noise on virtualized runners, where wall rates
+ * can swing tens of percent between seconds — hits both sides of each
+ * pair about equally and cancels in the ratio; the median then absorbs
+ * one descheduled pair. Dividing best-of-N rates instead (the obvious
+ * alternative) compares trials from *different* moments, which is
+ * exactly the drift this avoids.
+ */
+double
+pairedRatio(const RateSample& num, const RateSample& den)
+{
+    std::vector<double> ratios;
+    const std::size_t n =
+        std::min(num.trialRates.size(), den.trialRates.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (den.trialRates[i] > 0.0)
+            ratios.push_back(num.trialRates[i] / den.trialRates[i]);
+    }
+    if (ratios.empty())
+        return 0.0;
+    std::sort(ratios.begin(), ratios.end());
+    return ratios[ratios.size() / 2];
 }
 
 /**
  * Write the `bsched-simspeed-v1` artifact: the sim rate of the small
  * kernel with no observers, with the tracer+sampler stack, with the
  * cycle-accounting profiler, and with the memory profiler, plus the
- * enabled-path overhead ratios. CI's perf-smoke step compares a fresh
- * artifact against the committed bench/BENCH_simspeed.json baseline
- * with tools/bench_compare.py (warn-only — absolute rates are
- * machine-dependent).
+ * enabled-path overhead ratios, plus a `fast_forward` section timing
+ * the idle-heavy and fully-busy microkernels with idle fast-forward on
+ * and off. CI's perf-smoke step compares a fresh artifact against the
+ * committed bench/BENCH_simspeed.json baseline with
+ * tools/bench_compare.py; absolute rates are machine-dependent (gated
+ * with tolerance), while the overhead and speedup ratios are
+ * machine-independent budgets gated with hard floors.
  */
 void
 writeSimspeedJson(const std::string& path)
@@ -325,15 +455,39 @@ writeSimspeedJson(const std::string& path)
     const GpuConfig config = makeConfig(WarpSchedKind::GTO,
                                         CtaSchedKind::RoundRobin);
     const KernelInfo kernel = smallKernel();
-    constexpr int kReps = 5;
-    const RateSample plain =
-        measureSimRate(config, kernel, kReps, ObsMode::Plain);
-    const RateSample observed =
-        measureSimRate(config, kernel, kReps, ObsMode::Observed);
-    const RateSample profiled =
-        measureSimRate(config, kernel, kReps, ObsMode::Profiled);
-    const RateSample mem_profiled =
-        measureSimRate(config, kernel, kReps, ObsMode::MemProfiled);
+    constexpr int kReps = 20;
+
+    // Fast-forward on/off configs; explicit flags so the section
+    // measures both paths regardless of the process-wide default.
+    GpuConfig ff_on_cfg = config;
+    ff_on_cfg.fastForward = true;
+    GpuConfig ff_off_cfg = config;
+    ff_off_cfg.fastForward = false;
+    const KernelInfo idle_kernel = idleHeavyKernel();
+    const KernelInfo busy_kernel = busyKernel();
+
+    // All eight points in ONE interleaved trial schedule, so every
+    // gated ratio (observer overheads, fast-forward speedups) divides
+    // measurements taken moments apart.
+    const std::vector<RatePoint> points = {
+        {&config, &kernel, ObsMode::Plain},
+        {&config, &kernel, ObsMode::Observed},
+        {&config, &kernel, ObsMode::Profiled},
+        {&config, &kernel, ObsMode::MemProfiled},
+        {&ff_on_cfg, &idle_kernel, ObsMode::Plain},
+        {&ff_off_cfg, &idle_kernel, ObsMode::Plain},
+        {&ff_on_cfg, &busy_kernel, ObsMode::Plain},
+        {&ff_off_cfg, &busy_kernel, ObsMode::Plain},
+    };
+    const std::vector<RateSample> samples = measureInterleaved(points, kReps);
+    const RateSample& plain = samples[0];
+    const RateSample& observed = samples[1];
+    const RateSample& profiled = samples[2];
+    const RateSample& mem_profiled = samples[3];
+    const RateSample& idle_on = samples[4];
+    const RateSample& idle_off = samples[5];
+    const RateSample& busy_on = samples[6];
+    const RateSample& busy_off = samples[7];
 
     auto mode_json = [](std::ostream& os, const char* name,
                         const RateSample& s, bool last) {
@@ -342,10 +496,20 @@ writeSimspeedJson(const std::string& path)
            << s.cyclesPerRep << ", \"wall_s\": " << jsonNumber(s.wallSec)
            << "}" << (last ? "\n" : ",\n");
     };
-    auto ratio = [&](const RateSample& s) {
-        return plain.simCyclesPerSec > 0.0
-            ? s.simCyclesPerSec / plain.simCyclesPerSec
-            : 0.0;
+    auto ratio = [&](const RateSample& s) { return pairedRatio(s, plain); };
+    auto speedup = [](const RateSample& on, const RateSample& off) {
+        return pairedRatio(on, off);
+    };
+    auto ff_json = [&](std::ostream& os, const char* name,
+                       const RateSample& on, const RateSample& off,
+                       bool last) {
+        os << "    \"" << name << "\": {\n";
+        os << "  ";
+        mode_json(os, "ff_on", on, false);
+        os << "  ";
+        mode_json(os, "ff_off", off, false);
+        os << "      \"speedup\": " << jsonNumber(speedup(on, off))
+           << "\n    }" << (last ? "\n" : ",\n");
     };
     const std::size_t bytes = writeFile(path, [&](std::ostream& os) {
         os << "{\n  \"schema\": \"bsched-simspeed-v1\",\n"
@@ -359,7 +523,11 @@ writeSimspeedJson(const std::string& path)
            << jsonNumber(ratio(observed)) << ", \"profiled_vs_plain\": "
            << jsonNumber(ratio(profiled))
            << ", \"memprofiled_vs_plain\": "
-           << jsonNumber(ratio(mem_profiled)) << "}\n}\n";
+           << jsonNumber(ratio(mem_profiled)) << "},\n"
+           << "  \"fast_forward\": {\n";
+        ff_json(os, "idle_heavy", idle_on, idle_off, false);
+        ff_json(os, "busy", busy_on, busy_off, true);
+        os << "  }\n}\n";
     });
     std::fprintf(stderr, "wrote %s (%zu bytes)\n", path.c_str(), bytes);
 }

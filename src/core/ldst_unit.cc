@@ -1,5 +1,7 @@
 #include "core/ldst_unit.hh"
 
+#include <algorithm>
+
 #include "obs/mem_profile.hh"
 #include "sim/check.hh"
 #include "sim/log.hh"
@@ -140,13 +142,14 @@ LdstUnit::processLine(Cycle now)
     return true;
 }
 
-void
+bool
 LdstUnit::tick(Cycle now)
 {
     if (memProfiler_ != nullptr) {
         memProfiler_->recordMshrOccupancy(MemLevel::L1,
                                           mshr_.entriesInUse());
     }
+    bool did_work = false;
 
     // Return L1 hits whose latency elapsed.
     while (hitQ_.ready(now)) {
@@ -156,10 +159,13 @@ LdstUnit::tick(Cycle now)
             panic(name_, ": hit return for idle batch");
         --batch.outstanding;
         maybeComplete(batch_id, now);
+        did_work = true;
     }
 
     // One cache-port access per cycle from the head batch.
     if (!batchQ_.empty()) {
+        // Whether the head line processes or retries, counters move.
+        did_work = true;
         if (processLine(now)) {
             const std::uint32_t head = batchQ_.front();
             if (batches_[head].pendingLines.empty()) {
@@ -170,6 +176,21 @@ LdstUnit::tick(Cycle now)
             ++stallCycles_;
         }
     }
+    return did_work;
+}
+
+Cycle
+LdstUnit::nextEventCycle(Cycle now) const
+{
+    // Pending completions must reach the core, and outgoing requests
+    // the network, on the very next cycle. A queued batch is also
+    // "now": even a blocked head mutates retry/stall counters each
+    // cycle, so those cycles are observable and cannot be skipped.
+    if (!completions_.empty() || !outgoing_.empty() || !batchQ_.empty())
+        return now;
+    if (!hitQ_.empty())
+        return std::max(hitQ_.nextReady(), now);
+    return kCycleNever;
 }
 
 void

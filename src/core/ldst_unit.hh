@@ -103,8 +103,22 @@ class LdstUnit
                    std::vector<Addr> lines, int kernel_id = kInvalidId,
                    std::int64_t cta_key = -1);
 
-    /** Advance one cycle: service the head batch and the L1 hit queue. */
-    void tick(Cycle now);
+    /**
+     * Advance one cycle: service the head batch and the L1 hit queue.
+     * Returns true when anything happened — a hit return, a processed
+     * line, or a blocked-head retry (which mutates stall and tag-access
+     * counters, so such a cycle is observable and must not be elided).
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Earliest cycle >= @p now at which this unit can do observable
+     * work on its own: pending completions or outgoing requests (now),
+     * a queued batch (now — head retries are observable every cycle),
+     * or the L1 hit queue head's ready cycle. kCycleNever when only
+     * external fills can wake it (all lines out at the memory system).
+     */
+    Cycle nextEventCycle(Cycle now) const;
 
     /**
      * Deliver an L2 fill response (from the interconnect). @p req_id is
@@ -114,6 +128,12 @@ class LdstUnit
 
     /** Completed loads since the last drain; caller takes ownership. */
     std::vector<LoadCompletion> drainCompletions();
+
+    /** Queued batches not yet walked through the L1 (tests/diagnostics). */
+    std::size_t batchQueueLength() const { return batchQ_.size(); }
+
+    /** Requests waiting to be injected into the network. */
+    std::size_t outgoingCount() const { return outgoing_.size(); }
 
     /** True if a request is waiting to be injected into the network. */
     bool hasOutgoing() const { return !outgoing_.empty(); }

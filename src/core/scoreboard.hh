@@ -8,6 +8,7 @@
 #ifndef BSCHED_CORE_SCOREBOARD_HH
 #define BSCHED_CORE_SCOREBOARD_HH
 
+#include <algorithm>
 #include <array>
 
 #include "isa/instr.hh"
@@ -103,6 +104,24 @@ class Scoreboard
                      "scoreboard: release of register ",
                      static_cast<int>(reg), " with no outstanding load");
         setPending(reg, now);
+    }
+
+    /**
+     * Earliest cycle at which canIssue(@p instr) can become true:
+     * the max ready cycle over the instruction's registers. Returns
+     * kCycleNever while any of them awaits an explicit release (an
+     * outstanding load) — such warps wake via events, not time.
+     */
+    Cycle
+    nextReadyCycle(const Instr& instr) const
+    {
+        Cycle ready = 0;
+        for (std::int8_t reg : {instr.src0, instr.src1, instr.dst}) {
+            if (reg != kNoReg)
+                ready = std::max(ready,
+                                 ready_[static_cast<std::size_t>(reg)]);
+        }
+        return ready;
     }
 
     /** Count of registers still pending at @p now (tests/stats). */

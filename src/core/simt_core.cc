@@ -18,7 +18,10 @@ SimtCore::SimtCore(const GpuConfig& config, std::uint32_t id)
       warps_(config.maxWarpsPerCore()),
       ctas_(config.maxCtasPerCore),
       resources_(config),
-      ldst_(config, id)
+      ldst_(config, id),
+      warpWake_(config.maxWarpsPerCore(), 0),
+      warpKernel_(config.maxWarpsPerCore(), kInvalidId),
+      freeWarpSlots_(config.maxWarpsPerCore())
 {
     for (std::uint32_t s = 0; s < config.numSchedulersPerCore; ++s) {
         schedulers_.push_back(WarpScheduler::create(
@@ -32,13 +35,8 @@ SimtCore::canAccept(const KernelInfo& kernel) const
     const CtaFootprint fp = ctaFootprint(kernel);
     if (!resources_.fits(fp))
         return false;
-    // Need contiguous-free warp *slots* too (one per warp).
-    std::uint32_t free_slots = 0;
-    for (const Warp& warp : warps_) {
-        if (!warp.valid)
-            ++free_slots;
-    }
-    return free_slots >= fp.warps;
+    // Need free warp *slots* too (one per warp).
+    return freeWarpSlots_ >= fp.warps;
 }
 
 int
@@ -95,6 +93,9 @@ SimtCore::launchCta(Cycle now, const KernelInfo& kernel, int kernel_id,
         warp.kernel = &kernel;
         warp.cursor.init(kernel.program, cta_id);
         warp.sb.reset();
+        warpWake_[w] = 0;
+        warpKernel_[w] = kernel_id;
+        --freeWarpSlots_;
         if (warp.cursor.done(kernel.program)) {
             // Degenerate empty program: warp is born finished.
             warp.done = true;
@@ -191,11 +192,8 @@ SimtCore::ctaIssueCounts(int kernel_id) const
 }
 
 bool
-SimtCore::warpReady(const Warp& warp, Cycle now) const
+SimtCore::structuralReady(const Instr& instr, Cycle now) const
 {
-    const Instr& instr = warp.cursor.instr(warp.kernel->program);
-    if (!warp.sb.canIssue(instr, now))
-        return false;
     switch (instr.op) {
       case Opcode::LdGlobal:
       case Opcode::StGlobal:
@@ -213,6 +211,13 @@ SimtCore::warpReady(const Warp& warp, Cycle now) const
         return true;
     }
     return false;
+}
+
+bool
+SimtCore::warpReady(const Warp& warp, Cycle now) const
+{
+    const Instr& instr = warp.cursor.instr(warp.kernel->program);
+    return warp.sb.canIssue(instr, now) && structuralReady(instr, now);
 }
 
 IssueRefusal
@@ -255,8 +260,8 @@ SimtCore::warpRefusal(const Warp& warp, Cycle now) const
     return IssueRefusal::None;
 }
 
-void
-SimtCore::profileStalledSlot(std::size_t slot, Cycle now)
+std::pair<int, SlotCat>
+SimtCore::classifyStalledSlot(std::size_t slot, Cycle now) const
 {
     // Classify one exclusive category for a slot that issued nothing.
     // Priority when warps on the slot are blocked for different reasons:
@@ -266,7 +271,6 @@ SimtCore::profileStalledSlot(std::size_t slot, Cycle now)
     // to an actionable resource bottleneck win the slot.
     bool any_live = false;
     int barrier_kernel = kInvalidId;
-    int mem_kernel = kInvalidId;
     int sb_kernel = kInvalidId;
     int pipe_kernel = kInvalidId;
     for (std::size_t w = slot; w < warps_.size();
@@ -280,13 +284,28 @@ SimtCore::profileStalledSlot(std::size_t slot, Cycle now)
                 barrier_kernel = warp.kernelId;
             continue;
         }
+        // SoA fast path: the issue scan caches every scoreboard-blocked
+        // warp's wake time, so blocked warps classify from one array
+        // read — kCycleNever marks an outstanding load (`scoreboard`),
+        // a finite future cycle a fixed-latency result (`pipeline`).
+        const Cycle wake = warpWake_[w];
+        if (wake > now) {
+            if (wake == kCycleNever) {
+                if (sb_kernel == kInvalidId)
+                    sb_kernel = warp.kernelId;
+            } else if (pipe_kernel == kInvalidId) {
+                pipe_kernel = warp.kernelId;
+            }
+            continue;
+        }
         switch (warpRefusal(warp, now)) {
           case IssueRefusal::MemPort:
           case IssueRefusal::MemUnit:
           case IssueRefusal::SmemBusy:
-            if (mem_kernel == kInvalidId)
-                mem_kernel = warp.kernelId;
-            break;
+            // Highest-priority category: no later warp can change the
+            // slot's classification, and first-seen wins the kernel
+            // attribution either way.
+            return {warp.kernelId, SlotCat::MemStructural};
           case IssueRefusal::WaitLoad:
             if (sb_kernel == kInvalidId)
                 sb_kernel = warp.kernelId;
@@ -305,15 +324,12 @@ SimtCore::profileStalledSlot(std::size_t slot, Cycle now)
         }
     }
     if (!any_live)
-        profiler_->recordSlot(id_, kInvalidId, SlotCat::Empty);
-    else if (mem_kernel != kInvalidId)
-        profiler_->recordSlot(id_, mem_kernel, SlotCat::MemStructural);
-    else if (sb_kernel != kInvalidId)
-        profiler_->recordSlot(id_, sb_kernel, SlotCat::Scoreboard);
-    else if (pipe_kernel != kInvalidId)
-        profiler_->recordSlot(id_, pipe_kernel, SlotCat::Pipeline);
-    else
-        profiler_->recordSlot(id_, barrier_kernel, SlotCat::Barrier);
+        return {kInvalidId, SlotCat::Empty};
+    if (sb_kernel != kInvalidId)
+        return {sb_kernel, SlotCat::Scoreboard};
+    if (pipe_kernel != kInvalidId)
+        return {pipe_kernel, SlotCat::Pipeline};
+    return {barrier_kernel, SlotCat::Barrier};
 }
 
 void
@@ -419,8 +435,10 @@ SimtCore::completeCta(int hw_cta, Cycle now)
         panic(name_, ": completing invalid CTA slot");
 
     for (Warp& warp : warps_) {
-        if (warp.valid && warp.hwCta == hw_cta)
+        if (warp.valid && warp.hwCta == hw_cta) {
             warp.clear();
+            ++freeWarpSlots_;
+        }
     }
     // If this was the block's last resident CTA, let the warp schedulers
     // drop their per-block state (keeps BAWS's rotation map bounded by
@@ -485,23 +503,27 @@ SimtCore::checkBarrier(int hw_cta)
     }
 }
 
-void
+bool
 SimtCore::applyCompletions(Cycle now)
 {
+    bool applied = false;
     for (const LoadCompletion& done : ldst_.drainCompletions()) {
         Warp& warp = warps_[static_cast<std::size_t>(done.warpId)];
         // The warp slot may have been recycled only if its CTA finished,
         // which is impossible with a load in flight.
         warp.sb.release(done.reg, now);
+        warpWake_[static_cast<std::size_t>(done.warpId)] = 0;
+        applied = true;
     }
+    return applied;
 }
 
-void
+bool
 SimtCore::tick(Cycle now)
 {
-    applyCompletions(now);
-    ldst_.tick(now);
-    applyCompletions(now);
+    bool did_work = applyCompletions(now);
+    did_work |= ldst_.tick(now);
+    did_work |= applyCompletions(now);
 
     memIssuedThisCycle_ = 0;
     sfuIssuedThisCycle_ = 0;
@@ -509,27 +531,113 @@ SimtCore::tick(Cycle now)
     if (residentCtas() > 0)
         ++activeCycles_;
     else
-        return;
+        return did_work;
 
     bool issued_any = false;
     std::uint32_t issuedThisCycle = 0;
-    std::vector<int> ready;
+    const bool profiling = profiler_ != nullptr;
+    std::vector<int>& ready = readyScratch_;
     for (std::size_t s = 0; s < schedulers_.size(); ++s) {
         ready.clear();
+        // Stall classification is fused into the issue scan: the scan
+        // touches exactly the warps classifyStalledSlot would re-read,
+        // so when the profiler is attached the first-seen candidate per
+        // category is collected here instead of in a second pass.
+        int barrier_kernel = kInvalidId;
+        int mem_kernel = kInvalidId;
+        int sb_kernel = kInvalidId;
+        int pipe_kernel = kInvalidId;
         for (std::size_t w = s; w < warps_.size();
              w += schedulers_.size()) {
+            // SoA fast path: a slot whose cached scoreboard wake time
+            // is in the future cannot issue — skip without touching
+            // the warp record (warpKernel_ mirrors the occupying
+            // warp's kernel; a cached wake implies the warp is live).
+            const Cycle cached_wake = warpWake_[w];
+            if (cached_wake > now) {
+                BSCHED_CHECK(
+                    warps_[w].live() && !warps_[w].atBarrier &&
+                        !warps_[w].sb.canIssue(
+                            warps_[w].cursor.instr(warps_[w].kernel->program),
+                            now),
+                    name_, ": stale warp wake cache for warp ", w,
+                    " (cached ", cached_wake, " at cycle ", now, ")");
+                if (profiling) {
+                    if (cached_wake == kCycleNever) {
+                        if (sb_kernel == kInvalidId)
+                            sb_kernel = warpKernel_[w];
+                    } else if (pipe_kernel == kInvalidId) {
+                        pipe_kernel = warpKernel_[w];
+                    }
+                }
+                continue;
+            }
             const Warp& warp = warps_[w];
-            if (warp.live() && !warp.atBarrier && warpReady(warp, now))
+            if (!warp.live())
+                continue;
+            if (warp.atBarrier) {
+                if (barrier_kernel == kInvalidId)
+                    barrier_kernel = warp.kernelId;
+                continue;
+            }
+            const Instr& instr = warp.cursor.instr(warp.kernel->program);
+            if (!warp.sb.canIssue(instr, now)) {
+                // Cache the wake time; cleared on release/issue/launch.
+                const Cycle wake = warp.sb.nextReadyCycle(instr);
+                warpWake_[w] = wake;
+                if (profiling) {
+                    if (wake == kCycleNever) {
+                        if (sb_kernel == kInvalidId)
+                            sb_kernel = warp.kernelId;
+                    } else if (pipe_kernel == kInvalidId) {
+                        pipe_kernel = warp.kernelId;
+                    }
+                }
+                continue;
+            }
+            if (structuralReady(instr, now)) {
                 ready.push_back(static_cast<int>(w));
+            } else if (profiling) {
+                // The refusal kind follows from the opcode alone: only
+                // memory ops (LD/ST port, LD/ST queue, MSHRs, shared
+                // memory) and the SFU port can structurally refuse a
+                // scoreboard-clear warp.
+                if (instr.op == Opcode::Sfu) {
+                    if (pipe_kernel == kInvalidId)
+                        pipe_kernel = warp.kernelId;
+                } else if (mem_kernel == kInvalidId) {
+                    mem_kernel = warp.kernelId;
+                }
+            }
         }
         if (ready.empty()) {
-            if (profiler_ != nullptr)
-                profileStalledSlot(s, now);
+            if (profiling) {
+                // Same exclusive priority as classifyStalledSlot:
+                // mem_structural > scoreboard > pipeline > barrier;
+                // a slot with no live warp at all is `empty`.
+                int kernel = kInvalidId;
+                SlotCat cat = SlotCat::Empty;
+                if (mem_kernel != kInvalidId) {
+                    kernel = mem_kernel;
+                    cat = SlotCat::MemStructural;
+                } else if (sb_kernel != kInvalidId) {
+                    kernel = sb_kernel;
+                    cat = SlotCat::Scoreboard;
+                } else if (pipe_kernel != kInvalidId) {
+                    kernel = pipe_kernel;
+                    cat = SlotCat::Pipeline;
+                } else if (barrier_kernel != kInvalidId) {
+                    kernel = barrier_kernel;
+                    cat = SlotCat::Barrier;
+                }
+                profiler_->recordSlot(id_, kernel, cat);
+            }
             continue;
         }
         const int chosen = schedulers_[s]->pick(ready, warps_);
         if (chosen < 0)
             panic(name_, ": scheduler returned no warp from ready set");
+        warpWake_[static_cast<std::size_t>(chosen)] = 0;
         // Notify before issuing: issueFrom can retire the warp's CTA and
         // recycle the slot, after which its metadata is gone.
         schedulers_[s]->notifyIssued(chosen, warps_);
@@ -561,6 +669,76 @@ SimtCore::tick(Cycle now)
     }
     if (profiler_ != nullptr && !issued_any)
         profiler_->recordNoIssueCycle(id_);
+    return did_work || issued_any;
+}
+
+Cycle
+SimtCore::nextWorkCycle(Cycle now) const
+{
+    Cycle next = ldst_.nextEventCycle(now);
+    if (residentCtas() == 0)
+        return next;
+    for (std::size_t w = 0; w < warps_.size(); ++w) {
+        const Warp& warp = warps_[w];
+        if (!warp.live() || warp.atBarrier)
+            continue;
+        const Instr& instr = warp.cursor.instr(warp.kernel->program);
+        Cycle wake = warp.sb.nextReadyCycle(instr);
+        switch (instr.op) {
+          case Opcode::LdShared:
+          case Opcode::StShared:
+            wake = std::max(wake, smemBusyUntil_);
+            break;
+          case Opcode::LdGlobal:
+          case Opcode::StGlobal:
+            if (wake < now) {
+                // Scoreboard-clear at the quiet cycle (`now` - 1) yet
+                // not issued, so it was structurally refused then.
+                // Queue/outgoing refusals pin the LD/ST unit's
+                // nextEventCycle at `now` already; an MSHR-full refusal
+                // clears only on a fill, an external event the GPU's
+                // memory-side estimates bound. A warp with wake == now
+                // carries no such evidence — its scoreboard clears only
+                // this cycle and it may issue right here, so it must
+                // pin the estimate (the max() below yields `now`).
+                continue;
+            }
+            break;
+          default:
+            break;
+        }
+        if (wake == kCycleNever)
+            continue; // wakes on a load fill (event, not time)
+        next = std::min(next, std::max(wake, now));
+    }
+    return next;
+}
+
+void
+SimtCore::accountQuietSpan(Cycle now, std::uint64_t n, MemProfiler* memprof)
+{
+    if (n == 0)
+        return;
+    // The LD/ST unit samples its MSHR occupancy every cycle, resident
+    // CTAs or not; occupancy is constant across a quiet span.
+    if (memprof != nullptr) {
+        memprof->recordMshrOccupancySpan(MemLevel::L1,
+                                         ldst_.mshr().entriesInUse(), n);
+    }
+    if (residentCtas() == 0)
+        return;
+    activeCycles_ += n;
+    if (!ldst_.drained())
+        stallMemCycles_ += n;
+    else
+        stallIdleCycles_ += n;
+    if (profiler_ != nullptr) {
+        for (std::size_t s = 0; s < schedulers_.size(); ++s) {
+            const auto [kernel, cat] = classifyStalledSlot(s, now);
+            profiler_->recordSlotSpan(id_, kernel, cat, n);
+        }
+        profiler_->recordNoIssueSpan(id_, n);
+    }
 }
 
 void

@@ -14,19 +14,20 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/ldst_unit.hh"
 #include "core/warp.hh"
 #include "core/warp_sched.hh"
 #include "kernel/occupancy.hh"
+#include "obs/profile.hh"
 #include "sim/config.hh"
 #include "sim/stats.hh"
 
 namespace bsched {
 
 class Tracer;
-class CycleProfiler;
 class MemProfiler;
 
 /**
@@ -81,8 +82,34 @@ class SimtCore
 
     // --- simulation -----------------------------------------------------
 
-    /** Advance one cycle. */
-    void tick(Cycle now);
+    /**
+     * Advance one cycle. Returns true when anything observable happened
+     * on this core — an instruction issued, a load completion applied,
+     * or LD/ST-unit activity. A false return marks a quiet cycle whose
+     * repetitions may be elided by idle fast-forward (their counter
+     * effects are replayed by accountQuietSpan()).
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Earliest cycle >= @p now at which this core can do observable
+     * work on its own, valid only right after a quiet tick: the LD/ST
+     * unit's next event, or the first scoreboard/shared-memory wake
+     * time of a live non-barrier warp. Warps waiting on an outstanding
+     * load (or an MSHR-full refusal) wake via memory-system events,
+     * which the GPU bounds separately. kCycleNever if only external
+     * events can wake the core.
+     */
+    Cycle nextWorkCycle(Cycle now) const;
+
+    /**
+     * Replay the per-cycle counter effects of @p n elided quiet cycles
+     * (classified as of @p now, the first skipped cycle): active/stall
+     * cycle counters, per-slot profiler categories — constant across
+     * the span because it ends at every wake time — and the L1 MSHR
+     * occupancy samples on @p memprof.
+     */
+    void accountQuietSpan(Cycle now, std::uint64_t n, MemProfiler* memprof);
 
     // --- memory-side interface (driven by the GPU top level) ------------
 
@@ -192,13 +219,18 @@ class SimtCore
 
     /** True if @p warp can issue its next instruction this cycle. */
     bool warpReady(const Warp& warp, Cycle now) const;
-    /** Classify a slot that issued nothing this cycle (profiler path). */
-    void profileStalledSlot(std::size_t slot, Cycle now);
+    /** Structural half of warpReady (ports, LD/ST admission, smem). */
+    bool structuralReady(const Instr& instr, Cycle now) const;
+    /** Classify a slot that issued nothing this cycle (profiler path):
+     *  the category and the kernel it is attributed to. */
+    std::pair<int, SlotCat> classifyStalledSlot(std::size_t slot,
+                                                Cycle now) const;
     void issueFrom(int warp_id, Cycle now);
     void finishWarp(int warp_id, Cycle now);
     void completeCta(int hw_cta, Cycle now);
     void checkBarrier(int hw_cta);
-    void applyCompletions(Cycle now);
+    /** Release completed loads; true if any release was applied. */
+    bool applyCompletions(Cycle now);
 
     GpuConfig config_;
     std::uint32_t id_;
@@ -210,6 +242,26 @@ class SimtCore
     std::vector<std::unique_ptr<WarpScheduler>> schedulers_;
     std::map<int, KernelTrack> kernels_;
     std::vector<CtaDoneEvent> completed_;
+
+    /**
+     * SoA-packed hot state for the issue loop: a per-warp-slot cycle
+     * before which the occupying warp's scoreboard cannot clear.
+     * Strictly a lower bound — set when a warp's operands are found
+     * pending, reset to 0 on launch, issue and load release — so
+     * skipping a slot with warpWake_ > now never changes behaviour; it
+     * only avoids touching the cold Warp record and its scoreboard.
+     */
+    std::vector<Cycle> warpWake_;
+    /** SoA mirror of Warp::kernelId (set at warp launch) so the fused
+     *  stall classification can attribute a wake-cached slot without
+     *  touching the cold Warp record. Only read while warpWake_ > now,
+     *  which implies the slot's warp is live. */
+    std::vector<int> warpKernel_;
+    /** Free warp contexts (kept in sync with Warp::valid): canAccept
+     *  in O(1) instead of scanning 48 slots per scheduler tick. */
+    std::uint32_t freeWarpSlots_ = 0;
+    /** Reused ready-list buffer (avoids per-tick allocation). */
+    std::vector<int> readyScratch_;
 
     std::uint64_t ctaSeqCounter_ = 0;
     Cycle smemBusyUntil_ = 0;

@@ -21,25 +21,21 @@ BlockCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
                         CoreList& cores)
 {
     const std::uint32_t block = config_.bcs.blockSize;
-    std::vector<bool> used(cores.size(), false);
-
-    std::vector<KernelInstance*> order;
-    for (KernelInstance& kernel : kernels) {
-        if (!kernel.dispatchDone())
-            order.push_back(&kernel);
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [](const KernelInstance* a, const KernelInstance* b) {
-                         return a->priority < b->priority;
-                     });
+    // Cycle-derived rotation, like the round-robin baseline: this policy
+    // has ticked once per cycle since 0, so `now % n` equals the old
+    // stored counter and survives elided quiet spans unchanged.
+    std::vector<KernelInstance*>& order = dispatchOrder(kernels,
+                                                        cores.size());
+    if (order.empty())
+        return;
+    const std::uint32_t n = static_cast<std::uint32_t>(cores.size());
+    const std::uint32_t start = static_cast<std::uint32_t>(now % n);
 
     for (KernelInstance* kernel : order) {
-        for (std::uint32_t i = 0;
-             i < cores.size() && !kernel->dispatchDone(); ++i) {
-            const std::uint32_t c =
-                (rrCore_ + i) % static_cast<std::uint32_t>(cores.size());
+        for (std::uint32_t i = 0; i < n && !kernel->dispatchDone(); ++i) {
+            const std::uint32_t c = (start + i) % n;
             SimtCore& core = *cores[c];
-            if (used[c] || !coreAllowed(*kernel, c))
+            if (usedScratch_[c] != 0 || !coreAllowed(*kernel, c))
                 continue;
             // The tail of the grid may be smaller than a full block.
             const std::uint32_t remaining =
@@ -74,10 +70,9 @@ BlockCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
                 event.arg1 = want;
                 tracer_->record(tracer_->coreTrack(c), event);
             }
-            used[c] = true;
+            usedScratch_[c] = 1;
         }
     }
-    rrCore_ = (rrCore_ + 1) % static_cast<std::uint32_t>(cores.size());
 }
 
 void

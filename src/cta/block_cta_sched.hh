@@ -42,9 +42,6 @@ class BlockCtaScheduler : public CtaScheduler
      */
     virtual std::uint32_t residencyCap(std::uint32_t core_id,
                                        const KernelInstance& kernel) const;
-
-  private:
-    std::uint32_t rrCore_ = 0;
 };
 
 /** LCS + BCS: paired dispatch limited by the monitored N_opt. */
@@ -60,6 +57,16 @@ class LazyBlockCtaScheduler : public BlockCtaScheduler
 
     void notifyCtaDone(Cycle now, const CtaDoneEvent& event,
                        CoreList& cores) override;
+
+    Cycle nextEventCycle(Cycle now,
+                         const std::vector<KernelInstance>& kernels,
+                         const CoreList& cores) const override
+    {
+        // The embedded LCS carries the only time-driven deadlines
+        // (fixed monitoring windows); block dispatch itself is
+        // event-driven.
+        return lazy_.nextEventCycle(now, kernels, cores);
+    }
 
     const char* name() const override { return "lcs+bcs"; }
 

@@ -29,6 +29,37 @@ CtaScheduler::addStats(StatSet& stats) const
     stats.add("ctasched.dispatches", static_cast<double>(dispatches_));
 }
 
+Cycle
+CtaScheduler::nextEventCycle(Cycle now,
+                             const std::vector<KernelInstance>& kernels,
+                             const CoreList& cores) const
+{
+    (void)now;
+    (void)kernels;
+    (void)cores;
+    return kCycleNever;
+}
+
+std::vector<KernelInstance*>&
+CtaScheduler::dispatchOrder(std::vector<KernelInstance>& kernels,
+                            std::size_t num_cores)
+{
+    orderScratch_.clear();
+    for (KernelInstance& kernel : kernels) {
+        if (!kernel.dispatchDone())
+            orderScratch_.push_back(&kernel);
+    }
+    if (!orderScratch_.empty()) {
+        std::stable_sort(orderScratch_.begin(), orderScratch_.end(),
+                         [](const KernelInstance* a,
+                            const KernelInstance* b) {
+                             return a->priority < b->priority;
+                         });
+        usedScratch_.assign(num_cores, 0);
+    }
+    return orderScratch_;
+}
+
 std::unique_ptr<CtaScheduler>
 CtaScheduler::create(const GpuConfig& config)
 {
@@ -109,37 +140,32 @@ RoundRobinCtaScheduler::tick(Cycle now,
                              CoreList& cores)
 {
     // At most one CTA dispatched per core per cycle, kernels offered in
-    // priority order, cores visited round-robin.
-    std::vector<bool> used(cores.size(), false);
-
-    std::vector<KernelInstance*> order;
-    for (KernelInstance& kernel : kernels) {
-        if (!kernel.dispatchDone())
-            order.push_back(&kernel);
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [](const KernelInstance* a, const KernelInstance* b) {
-                         return a->priority < b->priority;
-                     });
+    // priority order, cores visited round-robin. The rotation index is
+    // derived from the cycle — this policy has ticked once per cycle
+    // since 0, so `now % n` equals the old stored counter, and elided
+    // quiet spans cannot desynchronise the visiting order.
+    std::vector<KernelInstance*>& order = dispatchOrder(kernels,
+                                                        cores.size());
+    if (order.empty())
+        return;
+    const std::uint32_t n = static_cast<std::uint32_t>(cores.size());
+    const std::uint32_t start = static_cast<std::uint32_t>(now % n);
 
     for (KernelInstance* kernel : order) {
         const std::uint32_t cap = staticCap(*kernel->info);
-        for (std::uint32_t i = 0;
-             i < cores.size() && !kernel->dispatchDone(); ++i) {
-            const std::uint32_t c =
-                (rrCore_ + i) % static_cast<std::uint32_t>(cores.size());
+        for (std::uint32_t i = 0; i < n && !kernel->dispatchDone(); ++i) {
+            const std::uint32_t c = (start + i) % n;
             SimtCore& core = *cores[c];
-            if (used[c] || !coreAllowed(*kernel, c))
+            if (usedScratch_[c] != 0 || !coreAllowed(*kernel, c))
                 continue;
             if (core.residentCtas(kernel->id) >= cap)
                 continue;
             if (!core.canAccept(*kernel->info))
                 continue;
             dispatch(now, *kernel, core, blockSeqCounter_++);
-            used[c] = true;
+            usedScratch_[c] = 1;
         }
     }
-    rrCore_ = (rrCore_ + 1) % static_cast<std::uint32_t>(cores.size());
 }
 
 } // namespace bsched

@@ -54,6 +54,23 @@ class CtaScheduler
     virtual void tick(Cycle now, std::vector<KernelInstance>& kernels,
                       CoreList& cores) = 0;
 
+    /**
+     * Earliest cycle >= @p now at which this policy must run again even
+     * if the whole GPU stays quiet — its internal time-driven deadlines
+     * (LCS fixed monitoring windows, DYNCTA sampling periods). Purely
+     * event-driven policies return kCycleNever: under the quiet-cycle
+     * precondition their dispatch eligibility only changes on observable
+     * events (a CTA completion, a resource release), which end the
+     * fast-forwarded span anyway.
+     */
+    virtual Cycle nextEventCycle(Cycle now,
+                                 const std::vector<KernelInstance>& kernels,
+                                 const CoreList& cores) const;
+
+    /** Total CTAs dispatched; the GPU's quiet-cycle gate reads the
+     *  per-cycle delta. */
+    std::uint64_t dispatches() const { return dispatches_; }
+
     /** A CTA finished on a core (book-keeping hook for LCS). */
     virtual void notifyCtaDone(Cycle now, const CtaDoneEvent& event,
                                CoreList& cores);
@@ -94,10 +111,23 @@ class CtaScheduler
     void dispatch(Cycle now, KernelInstance& kernel, SimtCore& core,
                   std::uint64_t block_seq);
 
+    /**
+     * Rebuild the priority-sorted list of kernels with pending CTAs and
+     * reset the per-core used flags. The dispatch loop runs every
+     * simulated cycle, so both live in reused scratch buffers instead of
+     * fresh per-tick allocations; an empty result lets tick() return
+     * before touching any core.
+     */
+    std::vector<KernelInstance*>&
+    dispatchOrder(std::vector<KernelInstance>& kernels,
+                  std::size_t num_cores);
+
     GpuConfig config_;
     std::uint64_t blockSeqCounter_ = 0;
     std::uint64_t dispatches_ = 0;
     Tracer* tracer_ = nullptr; ///< observability hook (null = disabled)
+    std::vector<KernelInstance*> orderScratch_;
+    std::vector<char> usedScratch_; ///< per-core dispatched-this-cycle
 };
 
 /** Baseline: greedy round-robin to maximum occupancy. */
@@ -112,9 +142,6 @@ class RoundRobinCtaScheduler : public CtaScheduler
               CoreList& cores) override;
 
     const char* name() const override { return "rr"; }
-
-  private:
-    std::uint32_t rrCore_ = 0;
 };
 
 } // namespace bsched

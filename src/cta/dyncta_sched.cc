@@ -77,22 +77,16 @@ DynctaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
             sample(now, c, *cores[c]);
     }
 
-    std::vector<bool> used(cores.size(), false);
-    std::vector<KernelInstance*> order;
-    for (KernelInstance& kernel : kernels) {
-        if (!kernel.dispatchDone())
-            order.push_back(&kernel);
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [](const KernelInstance* a, const KernelInstance* b) {
-                         return a->priority < b->priority;
-                     });
+    std::vector<KernelInstance*>& order = dispatchOrder(kernels,
+                                                        cores.size());
+    if (order.empty())
+        return;
 
     for (KernelInstance* kernel : order) {
         for (std::uint32_t c = 0;
              c < cores.size() && !kernel->dispatchDone(); ++c) {
             SimtCore& core = *cores[c];
-            if (used[c] || !coreAllowed(*kernel, c))
+            if (usedScratch_[c] != 0 || !coreAllowed(*kernel, c))
                 continue;
             const std::uint32_t cap =
                 std::min(state_[c].target, staticCap(*kernel->info));
@@ -101,9 +95,22 @@ DynctaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
             if (!core.canAccept(*kernel->info))
                 continue;
             dispatch(now, *kernel, core, blockSeqCounter_++);
-            used[c] = true;
+            usedScratch_[c] = 1;
         }
     }
+}
+
+Cycle
+DynctaScheduler::nextEventCycle(Cycle now,
+                                const std::vector<KernelInstance>& kernels,
+                                const CoreList& cores) const
+{
+    (void)kernels;
+    (void)cores;
+    Cycle next = kCycleNever;
+    for (const CoreState& cs : state_)
+        next = std::min(next, std::max(cs.nextSample, now));
+    return next;
 }
 
 void

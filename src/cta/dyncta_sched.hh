@@ -26,6 +26,15 @@ class DynctaScheduler : public CtaScheduler
     void tick(Cycle now, std::vector<KernelInstance>& kernels,
               CoreList& cores) override;
 
+    /**
+     * The nearest per-core sampling deadline: each sample mutates the
+     * controller's counters, target and trace output at exactly
+     * nextSample, so quiet spans are bounded by the sampling period.
+     */
+    Cycle nextEventCycle(Cycle now,
+                         const std::vector<KernelInstance>& kernels,
+                         const CoreList& cores) const override;
+
     const char* name() const override { return "dyncta"; }
 
     void addStats(StatSet& stats) const override;

@@ -125,35 +125,53 @@ LazyCtaScheduler::closeExpiredWindows(
     }
 }
 
+Cycle
+LazyCtaScheduler::nextEventCycle(Cycle now,
+                                 const std::vector<KernelInstance>& kernels,
+                                 const CoreList& cores) const
+{
+    if (config_.lcs.windowMode != LcsWindowMode::FixedCycles)
+        return kCycleNever;
+    Cycle next = kCycleNever;
+    for (const KernelInstance& kernel : kernels) {
+        for (std::uint32_t c = 0; c < cores.size(); ++c) {
+            const Cycle start = cores[c]->kernelFirstLaunch(kernel.id);
+            if (start == kCycleNever)
+                continue;
+            const auto it = monitors_.find({c, kernel.id});
+            if (it != monitors_.end() && it->second.decided)
+                continue;
+            next = std::min(
+                next,
+                std::max(start + config_.lcs.fixedWindowCycles, now));
+        }
+    }
+    return next;
+}
+
 void
 LazyCtaScheduler::tick(Cycle now, std::vector<KernelInstance>& kernels,
                        CoreList& cores)
 {
     closeExpiredWindows(now, kernels, cores);
 
-    std::vector<bool> used(cores.size(), false);
-    std::vector<KernelInstance*> order;
-    for (KernelInstance& kernel : kernels) {
-        if (!kernel.dispatchDone())
-            order.push_back(&kernel);
-    }
-    std::stable_sort(order.begin(), order.end(),
-                     [](const KernelInstance* a, const KernelInstance* b) {
-                         return a->priority < b->priority;
-                     });
+    std::vector<KernelInstance*>& order = dispatchOrder(kernels,
+                                                        cores.size());
+    if (order.empty())
+        return;
 
     for (KernelInstance* kernel : order) {
         for (std::uint32_t c = 0;
              c < cores.size() && !kernel->dispatchDone(); ++c) {
             SimtCore& core = *cores[c];
-            if (used[c] || !coreAllowed(*kernel, c))
+            if (usedScratch_[c] != 0 || !coreAllowed(*kernel, c))
                 continue;
             if (core.residentCtas(kernel->id) >= capFor(c, *kernel))
                 continue;
             if (!core.canAccept(*kernel->info))
                 continue;
             dispatch(now, *kernel, core, blockSeqCounter_++);
-            used[c] = true;
+            usedScratch_[c] = 1;
         }
     }
 }

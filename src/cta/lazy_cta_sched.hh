@@ -48,6 +48,17 @@ class LazyCtaScheduler : public CtaScheduler
     void notifyCtaDone(Cycle now, const CtaDoneEvent& event,
                        CoreList& cores) override;
 
+    /**
+     * FixedCycles mode: the earliest still-open monitoring-window
+     * deadline — the window must close (and its trace event fire) at
+     * exactly start + fixedWindowCycles, so quiet spans may not skip
+     * past it. FirstCtaDone windows close on CTA completions, which are
+     * observable events; they impose no deadline.
+     */
+    Cycle nextEventCycle(Cycle now,
+                         const std::vector<KernelInstance>& kernels,
+                         const CoreList& cores) const override;
+
     const char* name() const override { return "lcs"; }
 
     void addStats(StatSet& stats) const override;

@@ -1,5 +1,7 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+
 #include "obs/mem_profile.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
@@ -52,6 +54,12 @@ Gpu::launchKernel(const KernelInfo& kernel, int core_begin, int core_end,
         fatal("launchKernel: bad core_begin ", core_begin);
     if (core_end > static_cast<int>(config_.numCores))
         fatal("launchKernel: bad core_end ", core_end);
+    // An explicit end at or before the begin leaves no core the kernel
+    // may run on: its CTAs could never dispatch and run() would burn
+    // maxCycles before dying. Reject the launch instead.
+    if (core_end >= 0 && core_end <= core_begin)
+        fatal("launchKernel: empty core range [", core_begin, ", ",
+              core_end, ")");
     // Ensure at least one CTA can ever be placed.
     maxCtasPerCore(config_, kernel);
 
@@ -85,21 +93,31 @@ Gpu::finished() const
     return true;
 }
 
-void
+bool
 Gpu::moveMemoryTraffic()
 {
     const Cycle now = cycle_;
+    bool moved = false;
 
     // Partition replies -> interconnect (bounded injection per cycle).
-    for (auto& part : partitions_) {
+    // The visiting order rotates with the cycle: a core whose response
+    // queue fills every cycle would otherwise let partition 0 inject
+    // forever while higher-numbered partitions sit head-of-line blocked
+    // behind it. Cycle-derived rotation keeps the order identical
+    // whether or not quiet spans were elided.
+    const std::uint32_t np = static_cast<std::uint32_t>(partitions_.size());
+    const std::uint32_t first = static_cast<std::uint32_t>(now % np);
+    for (std::uint32_t i = 0; i < np; ++i) {
+        MemPartition& part = *partitions_[(first + i) % np];
         for (std::uint32_t k = 0; k < config_.icntFlitsPerCycle; ++k) {
-            if (!part->responseReady())
+            if (!part.responseReady())
                 break;
-            const MemResponse& resp = part->peekResponse();
+            const MemResponse& resp = part.peekResponse();
             if (!icnt_.canSendResponse(resp.coreId))
                 break; // head-of-line blocked; retry next cycle
             icnt_.sendResponse(now, resp.coreId, resp);
-            part->popResponse();
+            part.popResponse();
+            moved = true;
         }
     }
 
@@ -109,6 +127,7 @@ Gpu::moveMemoryTraffic()
                partitions_[p]->canAcceptRequest() &&
                icnt_.ejectBudget(p, now)) {
             partitions_[p]->pushRequest(now, icnt_.popRequest(p, now));
+            moved = true;
         }
     }
 
@@ -117,6 +136,7 @@ Gpu::moveMemoryTraffic()
         while (icnt_.responseReady(c, now) &&
                icnt_.responseEjectBudget(c, now)) {
             cores_[c]->deliverResponse(now, icnt_.popResponse(c, now));
+            moved = true;
         }
     }
 
@@ -130,26 +150,30 @@ Gpu::moveMemoryTraffic()
             if (!icnt_.canSendRequest(p))
                 break; // head-of-line blocked
             icnt_.sendRequest(now, core->popOutgoing());
+            moved = true;
         }
     }
+    return moved;
 }
 
 bool
 Gpu::stepCycle()
 {
     const Cycle now = cycle_;
+    bool did_work = false;
 
     for (auto& part : partitions_)
-        part->tick(now);
+        did_work |= part->tick(now);
 
-    moveMemoryTraffic();
+    did_work |= moveMemoryTraffic();
 
     for (auto& core : cores_)
-        core->tick(now);
+        did_work |= core->tick(now);
 
     // Collect CTA completions and update kernel instances.
     for (auto& core : cores_) {
         for (const CtaDoneEvent& event : core->drainCompletedCtas()) {
+            did_work = true;
             KernelInstance& kernel =
                 kernels_.at(static_cast<std::size_t>(event.kernelId));
             ++kernel.ctasDone;
@@ -176,7 +200,9 @@ Gpu::stepCycle()
         }
     }
 
+    const std::uint64_t dispatches_before = ctaSched_->dispatches();
     ctaSched_->tick(now, kernels_, cores_);
+    did_work |= ctaSched_->dispatches() != dispatches_before;
 
     if (obs_.sampler != nullptr && obs_.sampler->due(now))
         collectSample(now);
@@ -185,7 +211,66 @@ Gpu::stepCycle()
     if (cycle_ >= config_.maxCycles)
         fatal("gpu: exceeded maxCycles (", config_.maxCycles,
               ") — likely deadlock or undersized budget");
+
+    // A quiet cycle proves every component is waiting on a future
+    // event; jump straight to the earliest one instead of re-proving it
+    // one cycle at a time.
+    if (!did_work && config_.fastForward)
+        fastForward();
+
     return !finished();
+}
+
+void
+Gpu::fastForward()
+{
+    const Cycle now = cycle_; // first candidate cycle to elide
+
+    Cycle next = ctaSched_->nextEventCycle(now, kernels_, cores_);
+    for (const auto& core : cores_)
+        next = std::min(next, core->nextWorkCycle(now));
+    next = std::min(next, icnt_.nextEventCycle(now));
+    for (const auto& part : partitions_)
+        next = std::min(next, part->nextEventCycle(now));
+    if (obs_.sampler != nullptr)
+        next = std::min(next, obs_.sampler->nextDue());
+    if (next == kCycleNever)
+        return; // no future event at all: finished, draining or stuck
+    // Never jump past the cycle-budget backstop: the last budgeted
+    // cycle must still tick so the overrun fatal() fires on schedule.
+    next = std::min(next, config_.maxCycles - 1);
+    if (next <= now)
+        return;
+
+    // The component estimates promised a quiet span: nothing can be
+    // waiting on the traffic mover, or cycle `now` would not have been
+    // quiet and the estimates would have pinned `next` at `now`.
+    for (const auto& core : cores_) {
+        BSCHED_CHECK(!core->hasOutgoing(),
+                     "gpu: fast-forward across a pending core request "
+                     "on core ", core->id());
+    }
+    for (const auto& part : partitions_) {
+        BSCHED_CHECK(!part->responseReady(),
+                     "gpu: fast-forward across a pending partition "
+                     "response");
+    }
+
+    // Replay the per-cycle counter effects of the elided cycles
+    // [now, next): per-core activity/stall classification and the
+    // per-cycle MSHR occupancy samples. Both are constant across the
+    // span — it ends at or before every wake estimate.
+    const std::uint64_t n = next - now;
+    for (auto& core : cores_)
+        core->accountQuietSpan(now, n, obs_.memProfiler);
+    if (obs_.memProfiler != nullptr) {
+        for (const auto& part : partitions_) {
+            obs_.memProfiler->recordMshrOccupancySpan(
+                MemLevel::L2, part->l2Mshr().entriesInUse(), n);
+        }
+    }
+    elided_ += n;
+    cycle_ = next;
 }
 
 bool

@@ -41,7 +41,13 @@ class Gpu
     int launchKernel(const KernelInfo& kernel, int core_begin = 0,
                      int core_end = -1, int priority = 0);
 
-    /** Advance one cycle; returns true while work remains. */
+    /**
+     * Advance one cycle; returns true while work remains. When the
+     * cycle turns out to be quiet (no issue, no traffic, no dispatch)
+     * and config().fastForward is set, the clock then jumps over the
+     * provably-quiet span to the earliest next event — counters are
+     * replayed so results are byte-identical to plain stepping.
+     */
     bool stepCycle();
 
     /** Run to completion of all launched kernels. */
@@ -78,8 +84,28 @@ class Gpu
 
     const Observer& observer() const { return obs_; }
 
+    /**
+     * Cycles elided by idle fast-forward so far. Diagnostic only —
+     * deliberately not a StatSet entry, so run artifacts stay
+     * byte-identical with fast-forward on and off.
+     */
+    std::uint64_t elidedCycles() const { return elided_; }
+
   private:
-    void moveMemoryTraffic();
+    /** Shuffle traffic between cores, interconnect and partitions;
+     *  true if anything moved. */
+    bool moveMemoryTraffic();
+
+    /**
+     * Idle fast-forward: called right after a quiet cycle with cycle_
+     * already advanced. Computes the earliest cycle any component can
+     * act (cores, interconnect, partitions, CTA-scheduler deadlines,
+     * sampler), replays the per-cycle counter effects of the elided
+     * span, and jumps the clock. Skipping is sound because every
+     * component's estimate is a lower bound on its next observable
+     * event given that nothing external reaches it first.
+     */
+    void fastForward();
 
     /** Snapshot the sampled counter set into the interval sampler. */
     void collectSample(Cycle now);
@@ -92,6 +118,7 @@ class Gpu
     std::unique_ptr<CtaScheduler> ctaSched_;
     std::vector<KernelInstance> kernels_;
     Cycle cycle_ = 0;
+    std::uint64_t elided_ = 0; ///< cycles skipped by fastForward()
 
     // Interval-IPC bookkeeping for the sampler.
     Cycle lastSampleCycle_ = 0;

@@ -99,11 +99,11 @@ DramChannel::service(Cycle now, std::size_t queue_index)
     }
 }
 
-void
+bool
 DramChannel::tick(Cycle now)
 {
     if (queue_.empty())
-        return;
+        return false;
     const std::size_t window = std::min(queue_.size(), kScanWindow);
 
     // Starvation guard: when the oldest request has waited too long,
@@ -118,7 +118,7 @@ DramChannel::tick(Cycle now)
             const Bank& bank = banks_[req.bank];
             if (bank.busyUntil <= now && bank.openRow == req.row) {
                 service(now, i);
-                return;
+                return true;
             }
         }
     }
@@ -126,9 +126,27 @@ DramChannel::tick(Cycle now)
     for (std::size_t i = 0; i < window; ++i) {
         if (banks_[queue_[i].bank].busyUntil <= now) {
             service(now, i);
-            return;
+            return true;
         }
     }
+    return false;
+}
+
+Cycle
+DramChannel::nextEventCycle(Cycle now) const
+{
+    // Completion times are monotone (shared data bus), so the front is
+    // the earliest deliverable response.
+    Cycle next =
+        completions_.empty() ? kCycleNever : completions_.front().first;
+    if (!queue_.empty()) {
+        const std::size_t window = std::min(queue_.size(), kScanWindow);
+        for (std::size_t i = 0; i < window; ++i) {
+            const Bank& bank = banks_[queue_[i].bank];
+            next = std::min(next, std::max(bank.busyUntil, now));
+        }
+    }
+    return next;
 }
 
 bool

@@ -46,8 +46,11 @@ class DramChannel
     void push(Cycle now, Addr line_addr, bool write,
               std::uint32_t req_id = 0);
 
-    /** Advance one cycle: possibly start servicing one request. */
-    void tick(Cycle now);
+    /**
+     * Advance one cycle: possibly start servicing one request. Returns
+     * true when a request was serviced (the cycle was not quiet).
+     */
+    bool tick(Cycle now);
 
     /** True if a completed read response is available at @p now. */
     bool responseReady(Cycle now) const;
@@ -57,6 +60,16 @@ class DramChannel
 
     /** True when no request is queued or in flight. */
     bool idle() const { return queue_.empty() && completions_.empty(); }
+
+    /**
+     * Earliest cycle >= @p now at which this channel can do observable
+     * work: the oldest completion's done cycle, or the first cycle a
+     * bank in the scheduler's scan window frees up. kCycleNever when
+     * idle. The FR-FCFS starvation flag may flip inside a skipped span,
+     * but that is unobservable — no request can be *served* while every
+     * window bank is busy.
+     */
+    Cycle nextEventCycle(Cycle now) const;
 
     /** Bank index a line maps to (exposed for tests). */
     std::uint32_t bankOf(Addr line_addr) const;

@@ -1,5 +1,7 @@
 #include "mem/interconnect.hh"
 
+#include <algorithm>
+
 #include "obs/mem_profile.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
@@ -100,6 +102,21 @@ bool
 Interconnect::responseEjectBudget(std::uint32_t core, Cycle now)
 {
     return responseBw_.at(core).tryConsume(now);
+}
+
+Cycle
+Interconnect::nextEventCycle(Cycle now) const
+{
+    Cycle next = kCycleNever;
+    for (const auto& q : requestQ_) {
+        if (!q.empty())
+            next = std::min(next, std::max(q.nextReady(), now));
+    }
+    for (const auto& q : responseQ_) {
+        if (!q.empty())
+            next = std::min(next, std::max(q.nextReady(), now));
+    }
+    return next;
 }
 
 bool

@@ -64,6 +64,15 @@ class Interconnect
     /** True when nothing is in flight in either direction. */
     bool drained() const;
 
+    /**
+     * Earliest cycle >= @p now at which an in-flight message becomes
+     * ejectable at its destination: the min head-ready cycle over all
+     * non-empty channels. kCycleNever when drained. Bandwidth throttles
+     * self-reset on the first consume of a new cycle, so they carry no
+     * next-event state of their own.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
     /** Attach the memory profiler: injected messages report their
      *  noc_req / noc_resp stage transitions. Null detaches. */
     void setMemProfiler(MemProfiler* prof) { memProfiler_ = prof; }

@@ -1,5 +1,7 @@
 #include "mem/mem_partition.hh"
 
+#include <algorithm>
+
 #include "obs/mem_profile.hh"
 #include "obs/trace.hh"
 #include "sim/log.hh"
@@ -52,10 +54,12 @@ MemPartition::evictIfDirty(const Eviction& eviction)
         writebacks_.push_back(eviction.lineAddr);
 }
 
-void
+bool
 MemPartition::handleDramResponses(Cycle now)
 {
+    bool any = false;
     while (dram_.responseReady(now)) {
+        any = true;
         const Addr line = dram_.popResponse(now);
         // Waiters first: the fill's CTA owner (for interference
         // attribution) is the primary requester's, and the primary is
@@ -91,6 +95,7 @@ MemPartition::handleDramResponses(Cycle now)
                                 waiterReqId(waiter)});
         }
     }
+    return any;
 }
 
 bool
@@ -143,19 +148,22 @@ MemPartition::handleRequest(Cycle now, const MemRequest& req)
     }
 }
 
-void
+bool
 MemPartition::tick(Cycle now)
 {
     if (memProfiler_ != nullptr) {
         memProfiler_->recordMshrOccupancy(MemLevel::L2,
                                           mshr_.entriesInUse());
     }
-    dram_.tick(now);
-    handleDramResponses(now);
+    bool did_work = dram_.tick(now);
+    did_work |= handleDramResponses(now);
 
     for (unsigned port = 0; port < kL2PortsPerCycle; ++port) {
         if (!input_.ready(now))
             break;
+        // A head-of-line stall still counts as work: the retry mutates
+        // the stall counters, so the cycle is observable.
+        did_work = true;
         if (!handleRequest(now, input_.front()))
             break; // head-of-line stall; retry next cycle
         input_.pop(now);
@@ -165,7 +173,24 @@ MemPartition::tick(Cycle now)
     while (!writebacks_.empty() && dram_.canAccept()) {
         dram_.push(now, writebacks_.front(), true);
         writebacks_.pop_front();
+        did_work = true;
     }
+    return did_work;
+}
+
+Cycle
+MemPartition::nextEventCycle(Cycle now) const
+{
+    // Buffered replies wait only on the interconnect, which is polled
+    // by the GPU's traffic mover — never skip past them.
+    if (!replies_.empty())
+        return now;
+    Cycle next = dram_.nextEventCycle(now);
+    if (!input_.empty())
+        next = std::min(next, std::max(input_.nextReady(), now));
+    // Pending writebacks wake on DRAM queue space, i.e. on a DRAM
+    // service, which dram_.nextEventCycle already bounds.
+    return next;
 }
 
 const MemResponse&

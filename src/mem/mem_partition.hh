@@ -35,8 +35,22 @@ class MemPartition
     /** Deliver a request from the interconnect. */
     void pushRequest(Cycle now, const MemRequest& request);
 
-    /** Advance one cycle: DRAM, fills, L2 pipeline. */
-    void tick(Cycle now);
+    /**
+     * Advance one cycle: DRAM, fills, L2 pipeline. Returns true when
+     * anything happened — a DRAM service or fill, an L2 lookup
+     * (including a head-of-line retry, which mutates stall counters), or
+     * a writeback push. A false return means the cycle was quiet and a
+     * repeat of it may be elided by idle fast-forward.
+     */
+    bool tick(Cycle now);
+
+    /**
+     * Earliest cycle >= @p now at which this partition can do
+     * observable work, assuming no new request is delivered meanwhile:
+     * a buffered reply (now), the L2 input queue head's ready cycle, or
+     * the DRAM channel's next event. kCycleNever when drained.
+     */
+    Cycle nextEventCycle(Cycle now) const;
 
     /** True if a read response waits for the interconnect. */
     bool responseReady() const { return !replies_.empty(); }
@@ -105,7 +119,7 @@ class MemPartition
     /** L2 input queue capacity. */
     static constexpr std::size_t kInputCapacity = 32;
 
-    void handleDramResponses(Cycle now);
+    bool handleDramResponses(Cycle now);
     bool handleRequest(Cycle now, const MemRequest& request);
     void evictIfDirty(const Eviction& eviction);
 

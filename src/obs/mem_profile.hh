@@ -125,13 +125,27 @@ class LatencyHistogram
     void
     record(std::uint64_t value)
     {
-        counts_[bucketOf(value)] += 1;
-        sum_ += value;
+        record(value, 1);
+    }
+
+    /**
+     * Record @p value @p n times in one update. Used to account
+     * fast-forwarded spans whose per-cycle observation is constant
+     * (e.g. MSHR occupancy); order-independent, so n batched updates
+     * serialize identically to n singles.
+     */
+    void
+    record(std::uint64_t value, std::uint64_t n)
+    {
+        if (n == 0)
+            return;
+        counts_[bucketOf(value)] += n;
+        sum_ += value * n;
         if (count_ == 0 || value < min_)
             min_ = value;
         if (value > max_)
             max_ = value;
-        ++count_;
+        count_ += n;
     }
 
     /** Bucket index @p value falls into. */
@@ -290,6 +304,16 @@ class MemProfiler
     {
         interference_[static_cast<std::size_t>(level)]
             .mshrOccupancy.record(in_use);
+    }
+
+    /** Record @p n cycles of constant MSHR occupancy (a fast-forwarded
+     *  span during which no request was allocated or filled). */
+    void
+    recordMshrOccupancySpan(MemLevel level, std::uint32_t in_use,
+                            std::uint64_t n)
+    {
+        interference_[static_cast<std::size_t>(level)]
+            .mshrOccupancy.record(in_use, n);
     }
 
     // --- queries ---------------------------------------------------------

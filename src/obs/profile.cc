@@ -44,16 +44,6 @@ CycleProfiler::onAttach(std::uint32_t num_cores,
     warpSched_ = warp_sched;
 }
 
-void
-CycleProfiler::recordSlot(std::uint32_t core, int kernel_id, SlotCat cat)
-{
-    CoreProfile& profile = cores_[core];
-    const std::size_t idx = static_cast<std::size_t>(cat);
-    profile.total.counts[idx] += 1;
-    if (kernel_id != kInvalidId)
-        profile.byKernel[kernel_id].counts[idx] += 1;
-}
-
 SlotCounts
 CycleProfiler::total() const
 {

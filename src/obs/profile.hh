@@ -127,7 +127,35 @@ class CycleProfiler
      * to @p kernel_id (kInvalidId for `empty` slots, which belong to no
      * kernel).
      */
-    void recordSlot(std::uint32_t core, int kernel_id, SlotCat cat);
+    void
+    recordSlot(std::uint32_t core, int kernel_id, SlotCat cat)
+    {
+        recordSlotSpan(core, kernel_id, cat, 1);
+    }
+
+    /**
+     * Batched accounting: @p n consecutive cycles in which the slot's
+     * classification is known not to change (an idle fast-forwarded
+     * span). Equivalent to n recordSlot calls, in one pair of adds. The
+     * per-core one-entry kernel cache avoids the std::map lookup on the
+     * common kernel-stays-the-same path.
+     */
+    void
+    recordSlotSpan(std::uint32_t core, int kernel_id, SlotCat cat,
+                   std::uint64_t n)
+    {
+        CoreProfile& profile = cores_[core];
+        const std::size_t idx = static_cast<std::size_t>(cat);
+        profile.total.counts[idx] += n;
+        if (kernel_id == kInvalidId)
+            return;
+        if (kernel_id != profile.cachedKernel ||
+            profile.cachedCounts == nullptr) {
+            profile.cachedCounts = &profile.byKernel[kernel_id];
+            profile.cachedKernel = kernel_id;
+        }
+        profile.cachedCounts->counts[idx] += n;
+    }
 
     /**
      * Account one *core* cycle in which no slot issued. This is the
@@ -139,6 +167,13 @@ class CycleProfiler
     recordNoIssueCycle(std::uint32_t core)
     {
         cores_[core].noIssueCycles += 1;
+    }
+
+    /** Batched recordNoIssueCycle for fast-forwarded spans. */
+    void
+    recordNoIssueSpan(std::uint32_t core, std::uint64_t n)
+    {
+        cores_[core].noIssueCycles += n;
     }
 
     // --- queries ---------------------------------------------------------
@@ -180,6 +215,9 @@ class CycleProfiler
         SlotCounts total;
         std::map<int, SlotCounts> byKernel;
         std::uint64_t noIssueCycles = 0;
+        /** One-entry cache into byKernel (map nodes are stable). */
+        int cachedKernel = kInvalidId;
+        SlotCounts* cachedCounts = nullptr;
     };
 
     std::vector<CoreProfile> cores_;

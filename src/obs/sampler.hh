@@ -60,6 +60,16 @@ class IntervalSampler
     }
 
     /**
+     * Earliest cycle at which due() becomes true. Idle fast-forward
+     * must not skip past this: samples land on the same cycles whether
+     * or not quiet spans are elided.
+     */
+    Cycle nextDue() const
+    {
+        return cycles_.empty() ? period_ : cycles_.back() + period_;
+    }
+
+    /**
      * Open a sample row at @p now. Every series must then be recorded
      * exactly once before the next begin() (enforced by panic()).
      */

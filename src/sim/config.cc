@@ -57,7 +57,21 @@ isPow2(std::uint64_t x)
 {
     return x != 0 && (x & (x - 1)) == 0;
 }
+
+bool defaultFastForward_ = true;
 } // namespace
+
+void
+setDefaultFastForward(bool enabled)
+{
+    defaultFastForward_ = enabled;
+}
+
+bool
+defaultFastForward()
+{
+    return defaultFastForward_;
+}
 
 void
 GpuConfig::validate() const

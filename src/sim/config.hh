@@ -46,6 +46,17 @@ const char* toString(WarpSchedKind kind);
 const char* toString(CtaSchedKind kind);
 const char* toString(LcsWindowMode mode);
 
+/**
+ * Process-wide default for GpuConfig::fastForward, consulted when a
+ * config is constructed. Lets a bench binary's `--no-fast-forward`
+ * flag reach every config it builds (including GpuConfig::gtx480())
+ * without threading a parameter through each call site. Defaults to
+ * true; tests that want a specific mode set config.fastForward
+ * directly instead.
+ */
+void setDefaultFastForward(bool enabled);
+bool defaultFastForward();
+
 /** Geometry and timing of one cache level. */
 struct CacheConfig
 {
@@ -178,6 +189,15 @@ struct GpuConfig
 
     // --- simulation control ---------------------------------------------
     Cycle maxCycles = 200'000'000; ///< hard stop (deadlock guard)
+    /**
+     * Skip quiet cycles by jumping to the machine's next event instead
+     * of ticking every component. Purely a simulation-speed knob: all
+     * observable behaviour (stats, traces, samples, artifacts) is
+     * byte-identical either way, which the fast-forward equivalence
+     * tests pin. The member initializer reads the process-wide default
+     * so bench binaries can disable it via `--no-fast-forward`.
+     */
+    bool fastForward = defaultFastForward();
 
     /** Warps per core implied by the thread budget. */
     std::uint32_t maxWarpsPerCore() const

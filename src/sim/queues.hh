@@ -81,6 +81,17 @@ class TimedQueue
         return item;
     }
 
+    /**
+     * Cycle at which the head item becomes poppable; kCycleNever when
+     * empty. Entries are pushed with monotone ready cycles, so this is
+     * the queue's next-event estimate for idle fast-forwarding.
+     */
+    Cycle
+    nextReady() const
+    {
+        return entries_.empty() ? kCycleNever : entries_.front().first;
+    }
+
     bool empty() const { return entries_.empty(); }
     std::size_t size() const { return entries_.size(); }
     std::size_t capacity() const { return capacity_; }

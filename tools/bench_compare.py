@@ -9,7 +9,16 @@ schema and prints a per-metric delta table. Two schemas are understood:
     The compared metric is ``sim_cycles_per_s`` per observer mode
     (higher is better); only a *slowdown* beyond the tolerance is a
     regression, because absolute rates are machine-dependent and
-    speedups are never a problem.
+    speedups are never a problem. Absolute rates are judged at 4x the
+    tolerance and overhead/speedup ratios at 2x (their honest
+    run-to-run spread on shared/virtualized runners exceeds the 5%
+    figure-artifact tolerance CI uses). On top of the baseline diff the
+    *current* artifact must meet machine-independent budget floors:
+    ``relative_rate.profiled_vs_plain >= 0.85`` (profiling overhead),
+    ``fast_forward.idle_heavy.speedup >= 3.0`` (idle fast-forward must
+    pay off) and ``fast_forward.busy.speedup >= 0.9`` (and must not tax
+    busy runs). Budget violations are hard failures regardless of
+    ``--tolerance``.
 
 ``bsched-bench-v1``
     Figure artifact from any bench binary's ``--emit-json``. Rows are
@@ -21,11 +30,12 @@ schema and prints a per-metric delta table. Two schemas are understood:
     but never fail the comparison (artifacts legitimately grow).
 
 Exit status: 0 when the artifacts match within tolerance (or
-``--warn-only`` was given), 1 when at least one metric regressed, 2 on
-usage/schema errors. With ``--github``, flagged lines are also emitted
-as ``::warning``/``::error`` workflow commands so they surface in the
-GitHub UI; CI's perf-smoke job runs this script warn-only against the
-committed ``bench/BENCH_simspeed.json``.
+``--warn-only`` was given), 1 when at least one metric regressed or a
+budget floor was missed, 2 on usage/schema errors. With ``--github``,
+flagged lines are also emitted as ``::warning``/``::error`` workflow
+commands so they surface in the GitHub UI; CI's perf-smoke job runs
+this script as a hard gate against the committed
+``bench/BENCH_simspeed.json``.
 """
 
 from __future__ import annotations
@@ -65,16 +75,27 @@ class Comparison:
         self.notes: list[str] = []
 
     def compare(self, name: str, base: float, cur: float,
-                lower_is_regression_only: bool = False) -> None:
+                lower_is_regression_only: bool = False,
+                tolerance_scale: float = 1.0) -> None:
+        """Diff *cur* against *base* at ``tolerance * tolerance_scale``.
+
+        *tolerance_scale* widens the band for metrics whose honest
+        run-to-run spread exceeds the caller's tolerance: wall-clock
+        rates on virtualized runners drift tens of percent with host
+        load, so judging them at the figure-artifact tolerance (5% in
+        CI) would flag noise. Budget floors are unaffected — they gate
+        hard at their absolute values.
+        """
         if base == cur:
             delta = 0.0
         elif base == 0:
             delta = float("inf") if cur > 0 else float("-inf")
         else:
             delta = cur / base - 1.0
+        tolerance = self.tolerance * tolerance_scale
         line = f"{name}: {base:g} -> {cur:g} ({delta:+.2%})"
-        regressed = (delta < -self.tolerance) if lower_is_regression_only \
-            else (abs(delta) > self.tolerance)
+        regressed = (delta < -tolerance) if lower_is_regression_only \
+            else (abs(delta) > tolerance)
         self.lines.append(line)
         if regressed:
             self.flagged.append(line)
@@ -82,8 +103,28 @@ class Comparison:
     def note(self, text: str) -> None:
         self.notes.append(text)
 
+    def budget(self, name: str, floor: float, cur: float | None) -> None:
+        """Enforce an absolute machine-independent floor on *cur*."""
+        if cur is None:
+            self.note(f"budget metric '{name}' absent from current "
+                      f"artifact (floor {floor:g} not checked)")
+            return
+        line = f"{name}: {cur:g} (budget floor {floor:g})"
+        self.lines.append(line)
+        if cur < floor:
+            self.flagged.append(line)
+
 
 def compare_simspeed(base: dict, cur: dict, cmp: Comparison) -> None:
+    # Tolerance widening per metric class. Absolute wall-clock rates
+    # are the noisiest (host-speed drift between the baseline's and the
+    # fresh artifact's runs does NOT cancel); paired ratios interleave
+    # their two sides in time so drift mostly cancels, but a descheduled
+    # trial still moves the median a few percent. CI runs --tolerance
+    # 0.05, so these judge rates at 20% and ratios at 10% while the
+    # budget floors below stay hard.
+    RATE_SCALE = 4.0
+    RATIO_SCALE = 2.0
     base_modes, cur_modes = base.get("modes", {}), cur.get("modes", {})
     for mode in base_modes:
         if mode not in cur_modes:
@@ -94,6 +135,7 @@ def compare_simspeed(base: dict, cur: dict, cmp: Comparison) -> None:
             base_modes[mode]["sim_cycles_per_s"],
             cur_modes[mode]["sim_cycles_per_s"],
             lower_is_regression_only=True,
+            tolerance_scale=RATE_SCALE,
         )
     for mode in cur_modes:
         if mode not in base_modes:
@@ -105,7 +147,39 @@ def compare_simspeed(base: dict, cur: dict, cmp: Comparison) -> None:
     for key in base_rel:
         if key in cur_rel:
             cmp.compare(f"relative_rate.{key}", base_rel[key],
-                        cur_rel[key], lower_is_regression_only=True)
+                        cur_rel[key], lower_is_regression_only=True,
+                        tolerance_scale=RATIO_SCALE)
+    # Fast-forward speedups are wall-clock ratios on the same machine,
+    # so they diff cleanly across artifacts; only slowdowns matter.
+    base_ff = base.get("fast_forward", {})
+    cur_ff = cur.get("fast_forward", {})
+    for workload in base_ff:
+        if workload in cur_ff:
+            cmp.compare(f"fast_forward.{workload}.speedup",
+                        base_ff[workload]["speedup"],
+                        cur_ff[workload]["speedup"],
+                        lower_is_regression_only=True,
+                        tolerance_scale=RATIO_SCALE)
+
+    # Machine-independent budget floors on the *current* artifact —
+    # these hold on any host, so they gate hard regardless of baseline.
+    cmp.budget("relative_rate.profiled_vs_plain", 0.85,
+               cur_rel.get("profiled_vs_plain"))
+    cmp.budget("fast_forward.idle_heavy.speedup", 3.0,
+               cur_ff.get("idle_heavy", {}).get("speedup"))
+    cmp.budget("fast_forward.busy.speedup", 0.9,
+               cur_ff.get("busy", {}).get("speedup"))
+    # Absolute-rate floors from the ISSUE-6 acceptance, anchored to the
+    # pre-fast-forward committed baseline (~150k sim-cycles/s): >=3x on
+    # the idle-heavy microkernel and >=1.3x on the always-resident
+    # micro kernel. Machine-dependent, but the measured margins (>20x
+    # and >1.6x respectively) absorb host-speed spread.
+    cmp.budget("fast_forward.idle_heavy.ff_on.sim_cycles_per_s", 450_000,
+               cur_ff.get("idle_heavy", {}).get("ff_on", {})
+               .get("sim_cycles_per_s"))
+    cmp.budget("modes.plain.sim_cycles_per_s", 195_000,
+               cur.get("modes", {}).get("plain", {})
+               .get("sim_cycles_per_s"))
 
 
 def compare_bench(base: dict, cur: dict, cmp: Comparison) -> None:
@@ -186,7 +260,7 @@ def main() -> int:
     if cmp.flagged:
         severity = "warning" if args.warn_only else "error"
         print(f"bench compare: {len(cmp.flagged)} metric(s) beyond "
-              f"{args.tolerance:.0%} tolerance "
+              f"{args.tolerance:.0%} tolerance or under budget "
               f"({len(cmp.lines)} compared):")
         for line in cmp.flagged:
             print(f"  ! {line}")
