@@ -70,6 +70,10 @@ class LazyBlockCtaScheduler : public BlockCtaScheduler
 
     const char* name() const override { return "lcs+bcs"; }
 
+    /** The embedded LCS monitor (headroom queries by the serving
+     *  engine's admission signal). */
+    const LazyCtaScheduler& lazy() const { return lazy_; }
+
     void addStats(StatSet& stats) const override;
 
     void setTracer(Tracer* tracer) override

@@ -27,6 +27,32 @@ void
 CtaScheduler::addStats(StatSet& stats) const
 {
     stats.add("ctasched.dispatches", static_cast<double>(dispatches_));
+    stats.add("ctasched.drain_requests",
+              static_cast<double>(drainRequests_));
+}
+
+void
+CtaScheduler::setDraining(int kernel_id, bool draining)
+{
+    BSCHED_CHECK(kernel_id >= 0, "cta scheduler: drain request for "
+                                 "invalid kernel id ", kernel_id);
+    if (kernel_id < 0)
+        panic("cta scheduler: drain request for invalid kernel id");
+    const auto idx = static_cast<std::size_t>(kernel_id);
+    if (idx >= draining_.size())
+        draining_.resize(idx + 1, 0);
+    if (draining)
+        ++drainRequests_;
+    draining_[idx] = draining ? 1 : 0;
+}
+
+bool
+CtaScheduler::isDraining(int kernel_id) const
+{
+    if (kernel_id < 0)
+        return false;
+    const auto idx = static_cast<std::size_t>(kernel_id);
+    return idx < draining_.size() && draining_[idx] != 0;
 }
 
 Cycle
@@ -46,7 +72,9 @@ CtaScheduler::dispatchOrder(std::vector<KernelInstance>& kernels,
 {
     orderScratch_.clear();
     for (KernelInstance& kernel : kernels) {
-        if (!kernel.dispatchDone())
+        // Draining kernels are invisible to every policy's dispatch
+        // loop: their cursor freezes while in-flight CTAs retire.
+        if (!kernel.dispatchDone() && !isDraining(kernel.id))
             orderScratch_.push_back(&kernel);
     }
     if (!orderScratch_.empty()) {
@@ -122,6 +150,13 @@ CtaScheduler::dispatch(Cycle now, KernelInstance& kernel, SimtCore& core,
                  kernel.id, ", nextCta ", kernel.nextCta, ")");
     if (kernel.dispatchDone())
         panic("cta scheduler: dispatch past end of grid");
+    // Drain contract: a draining kernel must never receive new CTAs —
+    // dispatchOrder() filters it from every policy's candidate list, so
+    // reaching here with the flag set means a policy bypassed the
+    // shared ordering helper.
+    BSCHED_CHECK(!isDraining(kernel.id),
+                 "cta scheduler: dispatched a CTA of draining kernel ",
+                 kernel.id);
     core.launchCta(now, *kernel.info, kernel.id, kernel.nextCta, block_seq);
     ++kernel.nextCta;
     ++dispatches_;

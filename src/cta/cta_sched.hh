@@ -71,6 +71,25 @@ class CtaScheduler
      *  per-cycle delta. */
     std::uint64_t dispatches() const { return dispatches_; }
 
+    /**
+     * CTA-drain preemption: while @p kernel_id is draining, every policy
+     * stops offering it new CTAs (dispatchOrder() filters it out), so
+     * its in-flight CTAs run to completion and the resources they free
+     * go to the remaining kernels. Dispatch resumes from the frozen
+     * nextCta cursor when the drain is lifted — no CTA is ever killed
+     * or re-executed, which is what keeps the mechanism exact on a
+     * simulator with no context-save hardware (Pai et al.'s SM-draining
+     * preemption). Idempotent; applies to all policies via the shared
+     * dispatch-order filter.
+     */
+    void setDraining(int kernel_id, bool draining);
+
+    /** True while @p kernel_id is being drained. */
+    bool isDraining(int kernel_id) const;
+
+    /** Total drain requests accepted (observability). */
+    std::uint64_t drainRequests() const { return drainRequests_; }
+
     /** A CTA finished on a core (book-keeping hook for LCS). */
     virtual void notifyCtaDone(Cycle now, const CtaDoneEvent& event,
                                CoreList& cores);
@@ -125,9 +144,11 @@ class CtaScheduler
     GpuConfig config_;
     std::uint64_t blockSeqCounter_ = 0;
     std::uint64_t dispatches_ = 0;
+    std::uint64_t drainRequests_ = 0;
     Tracer* tracer_ = nullptr; ///< observability hook (null = disabled)
     std::vector<KernelInstance*> orderScratch_;
     std::vector<char> usedScratch_; ///< per-core dispatched-this-cycle
+    std::vector<char> draining_;    ///< per-kernel drain flag (by id)
 };
 
 /** Baseline: greedy round-robin to maximum occupancy. */

@@ -83,6 +83,29 @@ Gpu::launchKernel(const KernelInfo& kernel, int core_begin, int core_end,
     return inst.id;
 }
 
+void
+Gpu::requestDrain(int kernel_id, bool draining)
+{
+    if (kernel_id < 0 || kernel_id >= static_cast<int>(kernels_.size()))
+        fatal("requestDrain: bad kernel id ", kernel_id);
+    ctaSched_->setDraining(kernel_id, draining);
+    if (obs_.tracer != nullptr) {
+        TraceEvent event;
+        event.cycle = cycle_;
+        event.kind = TraceEventKind::DrainRequest;
+        event.kernelId = kernel_id;
+        event.arg0 = draining ? 1 : 0;
+        event.arg1 = kernels_[static_cast<std::size_t>(kernel_id)].nextCta;
+        obs_.tracer->record(obs_.tracer->gpuTrack(), event);
+    }
+}
+
+bool
+Gpu::kernelDraining(int kernel_id) const
+{
+    return ctaSched_->isDraining(kernel_id);
+}
+
 bool
 Gpu::finished() const
 {
@@ -234,6 +257,9 @@ Gpu::fastForward()
         next = std::min(next, part->nextEventCycle(now));
     if (obs_.sampler != nullptr)
         next = std::min(next, obs_.sampler->nextDue());
+    // External fence (serving engine): an outside agent acts at this
+    // cycle, so the quiet span may not be elided past it.
+    next = std::min(next, externalEvent_);
     if (next == kCycleNever)
         return; // no future event at all: finished, draining or stuck
     // Never jump past the cycle-budget backstop: the last budgeted
@@ -411,13 +437,19 @@ Gpu::ipc() const
         static_cast<double>(cycle_);
 }
 
-double
-Gpu::kernelIpc(int id) const
+std::uint64_t
+Gpu::kernelInstrsIssued(int id) const
 {
     std::uint64_t issued = 0;
     for (const auto& core : cores_)
         issued += core->instrsIssued(id);
-    return static_cast<double>(issued) /
+    return issued;
+}
+
+double
+Gpu::kernelIpc(int id) const
+{
+    return static_cast<double>(kernelInstrsIssued(id)) /
         static_cast<double>(kernelCycles(id));
 }
 

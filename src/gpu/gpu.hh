@@ -58,6 +58,29 @@ class Gpu
     /** True once every launched kernel has finished. */
     bool finished() const;
 
+    /**
+     * CTA-drain preemption (serving layer): while draining, kernel
+     * @p kernel_id receives no new CTA dispatches — its in-flight CTAs
+     * run to completion and the freed resources go to co-resident
+     * kernels. Lifting the drain resumes dispatch from the frozen
+     * cursor. Forwards to the CTA scheduler; valid for any policy.
+     */
+    void requestDrain(int kernel_id, bool draining);
+
+    /** True while @p kernel_id is being drained. */
+    bool kernelDraining(int kernel_id) const;
+
+    /**
+     * Bound for idle fast-forward jumps: an external agent (the serving
+     * engine) promises to act at @p cycle, so quiet spans must not be
+     * elided past it even when no internal component has an earlier
+     * event. kCycleNever (the default) removes the bound. Purely a
+     * fast-forward fence — with fast-forward off the caller simply
+     * observes the cycle counter, so behaviour is byte-identical either
+     * way.
+     */
+    void setExternalEventCycle(Cycle cycle) { externalEvent_ = cycle; }
+
     /** True when no memory traffic is in flight anywhere. */
     bool drained() const;
 
@@ -74,6 +97,11 @@ class Gpu
     double kernelIpc(int id) const;
 
     std::uint64_t totalInstrsIssued() const;
+
+    /** Instructions issued so far for one kernel, summed over cores
+     *  (the serving predictor's monitoring-phase signal; valid while
+     *  the kernel is still running). */
+    std::uint64_t kernelInstrsIssued(int id) const;
 
     /** Collect statistics from every component. */
     StatSet stats() const;
@@ -119,6 +147,7 @@ class Gpu
     std::vector<KernelInstance> kernels_;
     Cycle cycle_ = 0;
     std::uint64_t elided_ = 0; ///< cycles skipped by fastForward()
+    Cycle externalEvent_ = kCycleNever; ///< fast-forward fence
 
     // Interval-IPC bookkeeping for the sampler.
     Cycle lastSampleCycle_ = 0;

@@ -1,6 +1,9 @@
 #include "gpu/multi_kernel.hh"
 
+#include <algorithm>
+
 #include "sim/log.hh"
+#include "sim/rng.hh"
 
 namespace bsched {
 
@@ -37,6 +40,111 @@ MultiKernelReport::antt() const
     return sum / static_cast<double>(sharedCycles.size());
 }
 
+double
+MultiKernelReport::maxSlowdown() const
+{
+    double worst = 0.0;
+    for (std::size_t i = 0; i < sharedCycles.size(); ++i) {
+        worst = std::max(worst, static_cast<double>(sharedCycles[i]) /
+                                    static_cast<double>(isolatedCycles[i]));
+    }
+    return worst;
+}
+
+double
+MultiKernelReport::fairness() const
+{
+    double lo = 0.0;
+    double hi = 0.0;
+    for (std::size_t i = 0; i < sharedCycles.size(); ++i) {
+        const double speedup = static_cast<double>(isolatedCycles[i]) /
+            static_cast<double>(sharedCycles[i]);
+        if (i == 0) {
+            lo = hi = speedup;
+        } else {
+            lo = std::min(lo, speedup);
+            hi = std::max(hi, speedup);
+        }
+    }
+    if (hi <= 0.0)
+        fatal("MultiKernelReport::fairness: non-positive speedups");
+    return lo / hi;
+}
+
+namespace {
+
+std::uint64_t
+hashString(const std::string& s)
+{
+    std::uint64_t h = mix64(s.size());
+    for (char c : s)
+        h = hashCombine(h, static_cast<std::uint64_t>(
+                               static_cast<unsigned char>(c)));
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+IsolatedCycleCache::key(const GpuConfig& config, const KernelInfo& kernel)
+{
+    // The machine side is hashed through its printable description
+    // (every behaviour-relevant knob is part of toString); the kernel
+    // side through its launch geometry plus content proxies strong
+    // enough to separate same-name variants (total dynamic work and
+    // program shape). fastForward is deliberately behaviour-neutral by
+    // contract, so either setting hits the same entry.
+    std::uint64_t h = hashString(config.toString());
+    h = hashCombine(h, hashString(kernel.name));
+    h = hashCombine(h, kernel.grid.x);
+    h = hashCombine(h, kernel.grid.y);
+    h = hashCombine(h, kernel.grid.z);
+    h = hashCombine(h, kernel.cta.x);
+    h = hashCombine(h, kernel.cta.y);
+    h = hashCombine(h, kernel.cta.z);
+    h = hashCombine(h, kernel.regsPerThread);
+    h = hashCombine(h, kernel.smemBytesPerCta);
+    h = hashCombine(h, kernel.totalDynamicInstrs());
+    h = hashCombine(h, kernel.program.segments().size());
+    h = hashCombine(h, kernel.program.patterns().size());
+    h = hashCombine(h, static_cast<std::uint64_t>(kernel.program.regCount()));
+    return h;
+}
+
+bool
+IsolatedCycleCache::lookup(std::uint64_t key, Cycle* out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end())
+        return false;
+    ++hits_;
+    if (out)
+        *out = it->second;
+    return true;
+}
+
+void
+IsolatedCycleCache::insert(std::uint64_t key, Cycle cycles)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_[key] = cycles;
+}
+
+std::size_t
+IsolatedCycleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.size();
+}
+
+std::uint64_t
+IsolatedCycleCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
 namespace {
 
 Cycle
@@ -48,13 +156,30 @@ isolatedRun(const GpuConfig& config, const KernelInfo& kernel)
     return gpu.kernelCycles(id);
 }
 
+/** Isolated runtime via the cache when one is supplied. */
+Cycle
+cachedIsolatedRun(const GpuConfig& config, const KernelInfo& kernel,
+                  IsolatedCycleCache* cache)
+{
+    if (!cache)
+        return isolatedRun(config, kernel);
+    const std::uint64_t key = IsolatedCycleCache::key(config, kernel);
+    Cycle cycles = 0;
+    if (cache->lookup(key, &cycles))
+        return cycles;
+    cycles = isolatedRun(config, kernel);
+    cache->insert(key, cycles);
+    return cycles;
+}
+
 } // namespace
 
 MultiKernelReport
 runMultiKernel(const GpuConfig& config,
                const std::vector<const KernelInfo*>& kernels,
                MultiKernelPolicy policy, std::vector<int> spatial_split,
-               const std::vector<Cycle>* isolated_cycles)
+               const std::vector<Cycle>* isolated_cycles,
+               IsolatedCycleCache* cache)
 {
     if (kernels.empty())
         fatal("runMultiKernel: no kernels");
@@ -66,8 +191,10 @@ runMultiKernel(const GpuConfig& config,
             fatal("runMultiKernel: isolated_cycles size mismatch");
         report.isolatedCycles = *isolated_cycles;
     } else {
-        for (const KernelInfo* kernel : kernels)
-            report.isolatedCycles.push_back(isolatedRun(config, *kernel));
+        for (const KernelInfo* kernel : kernels) {
+            report.isolatedCycles.push_back(
+                cachedIsolatedRun(config, *kernel, cache));
+        }
     }
 
     switch (policy) {

@@ -15,6 +15,8 @@
 #define BSCHED_GPU_MULTI_KERNEL_HH
 
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "gpu/gpu.hh"
@@ -49,6 +51,54 @@ struct MultiKernelReport
 
     /** Average normalized turnaround time: mean of shared/isolated. */
     double antt() const;
+
+    /** Worst per-kernel slowdown: max over kernels of shared/isolated.
+     *  ANTT hides a starved kernel behind the mean; this surfaces it. */
+    double maxSlowdown() const;
+
+    /**
+     * Min-max fairness (Eyerman & Eeckhout): the smallest per-kernel
+     * normalized progress divided by the largest, in (0, 1]. 1 means
+     * every kernel suffered the same slowdown; values near 0 mean one
+     * kernel monopolized the machine.
+     */
+    double fairness() const;
+};
+
+/**
+ * Shared cache of isolated-baseline runtimes, keyed by kernel content +
+ * machine configuration. Policy sweeps (and the serving benchmarks) ask
+ * for the same kernel's solo runtime many times; without this each
+ * sim point re-simulates it. Thread-safe: parallel sweep points may
+ * share one instance. Keys are content hashes, so equal (config,
+ * kernel) pairs hit regardless of which point inserted them — and the
+ * cached value equals what a fresh isolated run would produce, keeping
+ * artifacts byte-identical with and without the cache.
+ */
+class IsolatedCycleCache
+{
+  public:
+    /** Content hash of the (machine, kernel) pair. */
+    static std::uint64_t key(const GpuConfig& config,
+                             const KernelInfo& kernel);
+
+    /** True (and *out filled) when @p key is cached. */
+    bool lookup(std::uint64_t key, Cycle* out) const;
+
+    /** Record @p cycles for @p key (last writer wins; values for one
+     *  key are identical by construction). */
+    void insert(std::uint64_t key, Cycle cycles);
+
+    /** Entries currently cached. */
+    std::size_t size() const;
+
+    /** Successful lookups so far (avoided isolated re-simulations). */
+    std::uint64_t hits() const;
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::uint64_t, Cycle> map_;
+    mutable std::uint64_t hits_ = 0;
 };
 
 /**
@@ -57,14 +107,18 @@ struct MultiKernelReport
  * boundaries (ascending core indices, one per kernel boundary).
  * Isolated baselines are simulated with the same config on the full
  * machine, unless @p isolated_cycles supplies precomputed values (one
- * per kernel), which avoids re-simulating them across policies.
+ * per kernel), which avoids re-simulating them across policies. When
+ * @p cache is given (and @p isolated_cycles is not), baselines are
+ * looked up / deposited there instead, deduplicating across mixes that
+ * share kernels.
  */
 MultiKernelReport runMultiKernel(const GpuConfig& config,
                                  const std::vector<const KernelInfo*>& kernels,
                                  MultiKernelPolicy policy,
                                  std::vector<int> spatial_split = {},
                                  const std::vector<Cycle>* isolated_cycles =
-                                     nullptr);
+                                     nullptr,
+                                 IsolatedCycleCache* cache = nullptr);
 
 } // namespace bsched
 

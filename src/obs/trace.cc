@@ -31,6 +31,8 @@ toString(TraceEventKind kind)
         return "cache.miss_burst";
       case TraceEventKind::DramRowConflict:
         return "dram.row_conflict";
+      case TraceEventKind::DrainRequest:
+        return "serve.drain";
     }
     panic("unknown TraceEventKind");
 }

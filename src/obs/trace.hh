@@ -40,6 +40,7 @@ enum class TraceEventKind : std::uint8_t
     DynctaAdjust,    ///< core track; arg0 = new target, arg1 = +1/-1
     CacheMissBurst,  ///< core/partition track; arg0 = burst length
     DramRowConflict, ///< partition track; arg0 = bank, arg1 = new row
+    DrainRequest,    ///< gpu track; arg0 = 1 drain/0 resume, arg1 = cursor
 };
 
 /** Stable event-kind name used in exported JSON ("cta.dispatch", ...). */

@@ -1,0 +1,538 @@
+#include "serve/engine.hh"
+
+#include <algorithm>
+
+#include "cta/block_cta_sched.hh"
+#include "cta/lazy_cta_sched.hh"
+#include "gpu/gpu.hh"
+#include "kernel/occupancy.hh"
+#include "sim/check.hh"
+#include "sim/log.hh"
+#include "workloads/suite.hh"
+
+namespace bsched {
+
+namespace {
+
+/** Priority band separating preemptors (win) from normal admissions. */
+constexpr int kNormalPriorityBase = 100000;
+
+} // namespace
+
+const char*
+toString(ServePolicy policy)
+{
+    switch (policy) {
+      case ServePolicy::Sequential: return "sequential";
+      case ServePolicy::Spatial: return "spatial";
+      case ServePolicy::Fcfs: return "fcfs";
+      case ServePolicy::Reorder: return "reorder";
+      case ServePolicy::ReorderPreempt: return "reorder+preempt";
+    }
+    return "?";
+}
+
+std::vector<ServePolicy>
+allServePolicies()
+{
+    return {ServePolicy::Sequential, ServePolicy::Spatial,
+            ServePolicy::Fcfs, ServePolicy::Reorder,
+            ServePolicy::ReorderPreempt};
+}
+
+ServingEngine::ServingEngine(const GpuConfig& gpu_config,
+                             const ServeConfig& serve)
+    : gpuConfig_(gpu_config), cfg_(serve),
+      predictor_(serve.fallbackIpc)
+{
+    if (cfg_.maxConcurrent == 0)
+        fatal("serve: maxConcurrent must be > 0");
+    if (cfg_.riskDen == 0)
+        fatal("serve: riskDen must be > 0");
+    if (cfg_.policy == ServePolicy::Sequential)
+        cfg_.maxConcurrent = 1;
+    if (cfg_.policy == ServePolicy::Spatial) {
+        if (cfg_.spatialWays == 0 ||
+            cfg_.spatialWays > gpuConfig_.numCores) {
+            fatal("serve: spatialWays must be in [1, numCores]");
+        }
+        wayBusy_.assign(cfg_.spatialWays, 0);
+    }
+    // The shared-core policies need the per-core LCS limits that carve
+    // out space for a co-resident kernel — same promotion Mixed MCK
+    // applies in runMultiKernel.
+    if (cfg_.policy == ServePolicy::Fcfs ||
+        cfg_.policy == ServePolicy::Reorder ||
+        cfg_.policy == ServePolicy::ReorderPreempt) {
+        if (gpuConfig_.ctaSched == CtaSchedKind::RoundRobin)
+            gpuConfig_.ctaSched = CtaSchedKind::Lazy;
+        else if (gpuConfig_.ctaSched == CtaSchedKind::Block)
+            gpuConfig_.ctaSched = CtaSchedKind::LazyBlock;
+    }
+}
+
+void
+ServingEngine::ingest(const std::vector<LaunchRequest>& trace)
+{
+    outcomes_.reserve(trace.size());
+    for (const LaunchRequest& req : trace) {
+        RequestOutcome outcome;
+        outcome.req = req;
+        const std::size_t idx = outcomes_.size();
+        if (req.arrival == kCycleNever) {
+            // Closed-loop tail: released by a tenant completion.
+            outcomes_.push_back(outcome);
+            closed_[req.tenant].push_back(idx);
+        } else {
+            outcome.release = req.arrival;
+            if (req.deadlineSlack > 0)
+                outcome.deadline = req.arrival + req.deadlineSlack;
+            outcomes_.push_back(outcome);
+            pending_.push_back(idx);
+        }
+    }
+    // generateTrace emits open-loop requests sorted by (arrival, seq)
+    // already; pin the invariant rather than trusting the caller.
+    const bool sorted = std::is_sorted(
+        pending_.begin(), pending_.end(),
+        [this](std::size_t a, std::size_t b) {
+            return outcomes_[a].release < outcomes_[b].release;
+        });
+    if (!sorted)
+        fatal("serve: trace arrivals not sorted");
+}
+
+bool
+ServingEngine::releaseArrivals(Cycle now)
+{
+    bool any = false;
+    while (!pending_.empty() &&
+           outcomes_[pending_.front()].release <= now) {
+        ready_.push_back(pending_.front());
+        pending_.erase(pending_.begin());
+        any = true;
+    }
+    return any;
+}
+
+bool
+ServingEngine::collectCompletions(Gpu& gpu, Cycle now)
+{
+    bool any = false;
+    for (std::size_t i = 0; i < active_.size();) {
+        const Active active = active_[i];
+        const KernelInstance& kernel = gpu.kernel(active.kernelId);
+        if (!kernel.finished()) {
+            ++i;
+            continue;
+        }
+        any = true;
+        RequestOutcome& outcome = outcomes_[active.outcome];
+        outcome.finish = kernel.doneCycle;
+        BSCHED_CHECK(outcome.finish >= outcome.admit,
+                     "serve: kernel ", active.kernelId,
+                     " finished before it was admitted");
+        predictor_.recordCompletion(outcome.req.workload,
+                                    outcome.finish - outcome.admit);
+
+        // A finished preemptor gives the machine back: lift the drain
+        // on every victim still running.
+        for (const int victim : active.victims) {
+            if (!gpu.kernel(victim).finished() &&
+                gpu.kernelDraining(victim)) {
+                gpu.requestDrain(victim, false);
+            }
+        }
+
+        if (cfg_.policy == ServePolicy::Spatial) {
+            const auto it = wayOf_.find(active.kernelId);
+            if (it != wayOf_.end()) {
+                wayBusy_[it->second] = 0;
+                wayOf_.erase(it);
+            }
+        }
+
+        // Closed loop: this completion releases the tenant's next
+        // queued request after its think time. Timed off the exact
+        // completion cycle, not the loop's observation cycle, so the
+        // schedule is independent of when the engine looked.
+        auto closed_it = closed_.find(outcome.req.tenant);
+        if (closed_it != closed_.end() && !closed_it->second.empty()) {
+            const std::size_t next_idx = closed_it->second.front();
+            closed_it->second.erase(closed_it->second.begin());
+            RequestOutcome& next = outcomes_[next_idx];
+            next.release = outcome.finish + next.req.thinkCycles;
+            if (next.req.deadlineSlack > 0)
+                next.deadline = next.release + next.req.deadlineSlack;
+            const auto pos = std::upper_bound(
+                pending_.begin(), pending_.end(), next_idx,
+                [this](std::size_t a, std::size_t b) {
+                    if (outcomes_[a].release != outcomes_[b].release)
+                        return outcomes_[a].release < outcomes_[b].release;
+                    return outcomes_[a].req.seq < outcomes_[b].req.seq;
+                });
+            pending_.insert(pos, next_idx);
+        }
+
+        active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    (void)now;
+    return any;
+}
+
+Cycle
+ServingEngine::nextArrivalCycle() const
+{
+    return pending_.empty() ? kCycleNever
+                            : outcomes_[pending_.front()].release;
+}
+
+Cycle
+ServingEngine::predictTotalFor(const RequestOutcome& outcome) const
+{
+    const KernelInfo& info = pool_.at(outcome.req.workload);
+    return predictor_.predictTotal(outcome.req.workload,
+                                   info.totalDynamicInstrs());
+}
+
+Cycle
+ServingEngine::predictRemainingFor(const Gpu& gpu, const Active& active,
+                                   Cycle now) const
+{
+    const KernelInstance& kernel = gpu.kernel(active.kernelId);
+    const RequestOutcome& outcome = outcomes_[active.outcome];
+    const Cycle elapsed = now - kernel.launchCycle;
+    return predictor_.predictRemaining(
+        outcome.req.workload, kernel.info->totalDynamicInstrs(),
+        gpu.kernelInstrsIssued(active.kernelId), elapsed,
+        cfg_.monitorCycles);
+}
+
+bool
+ServingEngine::urgent(std::size_t ready_pos, Cycle now) const
+{
+    const RequestOutcome& outcome = outcomes_[ready_[ready_pos]];
+    if (outcome.deadline == kCycleNever)
+        return false;
+    const Cycle predicted = predictTotalFor(outcome);
+    const Cycle risk = (predicted * cfg_.riskNum) / cfg_.riskDen;
+    return now + risk >= outcome.deadline;
+}
+
+std::uint64_t
+ServingEngine::headroomSlots(const Gpu& gpu) const
+{
+    // Resolve the LCS monitor when the active CTA scheduler carries
+    // one (Lazy directly, LazyBlock via its embedded LCS).
+    const LazyCtaScheduler* lazy =
+        dynamic_cast<const LazyCtaScheduler*>(&gpu.ctaScheduler());
+    if (lazy == nullptr) {
+        const auto* lazy_block = dynamic_cast<const LazyBlockCtaScheduler*>(
+            &gpu.ctaScheduler());
+        if (lazy_block != nullptr)
+            lazy = &lazy_block->lazy();
+    }
+
+    std::uint64_t total = 0;
+    for (std::uint32_t c = 0; c < gpuConfig_.numCores; ++c) {
+        std::uint64_t claimed = 0;
+        for (const Active& active : active_) {
+            const KernelInstance& kernel = gpu.kernel(active.kernelId);
+            if (kernel.finished())
+                continue;
+            std::uint32_t cap;
+            if (gpu.kernelDraining(active.kernelId)) {
+                // A draining kernel's claim shrinks with every retiring
+                // CTA: exactly its current residency.
+                cap = gpu.cores()[c]->residentCtas(active.kernelId);
+            } else {
+                const std::uint32_t occ =
+                    maxCtasPerCore(gpuConfig_, *kernel.info);
+                std::uint32_t limit = occ;
+                if (lazy != nullptr) {
+                    const std::uint32_t decided =
+                        lazy->decidedLimit(c, active.kernelId);
+                    // 0 = still monitoring: the kernel fills the core.
+                    if (decided != 0)
+                        limit = std::min(decided, occ);
+                }
+                cap = limit;
+            }
+            claimed += cap;
+        }
+        const std::uint64_t slots = gpuConfig_.maxCtasPerCore;
+        if (claimed < slots)
+            total += slots - claimed;
+    }
+    return total;
+}
+
+std::size_t
+ServingEngine::pickNext(const Gpu& gpu, Cycle now) const
+{
+    (void)gpu;
+    BSCHED_CHECK(!ready_.empty(), "serve: pickNext on an empty queue");
+    if (cfg_.policy != ServePolicy::Reorder &&
+        cfg_.policy != ServePolicy::ReorderPreempt) {
+        return 0; // arrival order
+    }
+    // Deadline-at-risk requests first, earliest deadline wins;
+    // otherwise shortest predicted job. Ties break on seq (arrival
+    // order), keeping the schedule total-ordered and deterministic.
+    std::size_t best = 0;
+    bool best_urgent = urgent(0, now);
+    Cycle best_key = best_urgent ? outcomes_[ready_[0]].deadline
+                                 : predictTotalFor(outcomes_[ready_[0]]);
+    for (std::size_t pos = 1; pos < ready_.size(); ++pos) {
+        const bool is_urgent = urgent(pos, now);
+        if (best_urgent && !is_urgent)
+            continue;
+        const Cycle key = is_urgent
+            ? outcomes_[ready_[pos]].deadline
+            : predictTotalFor(outcomes_[ready_[pos]]);
+        const bool wins = (is_urgent && !best_urgent) || key < best_key ||
+            (key == best_key &&
+             outcomes_[ready_[pos]].req.seq < outcomes_[ready_[best]].req.seq);
+        if (wins) {
+            best = pos;
+            best_urgent = is_urgent;
+            best_key = key;
+        }
+    }
+    return best;
+}
+
+void
+ServingEngine::launch(Gpu& gpu, Cycle now, std::size_t ready_pos,
+                      bool preemptor, std::vector<int> victims)
+{
+    const std::size_t idx = ready_[ready_pos];
+    RequestOutcome& outcome = outcomes_[idx];
+    const KernelInfo& info = pool_.at(outcome.req.workload);
+
+    int core_begin = 0;
+    int core_end = -1;
+    if (cfg_.policy == ServePolicy::Spatial) {
+        std::uint32_t way = cfg_.spatialWays;
+        for (std::uint32_t w = 0; w < cfg_.spatialWays; ++w) {
+            if (!wayBusy_[w]) {
+                way = w;
+                break;
+            }
+        }
+        BSCHED_CHECK(way < cfg_.spatialWays,
+                     "serve: spatial launch without a free way");
+        if (way >= cfg_.spatialWays)
+            fatal("serve: spatial launch without a free way");
+        const auto cores = static_cast<int>(gpuConfig_.numCores);
+        const auto ways = static_cast<int>(cfg_.spatialWays);
+        core_begin = cores * static_cast<int>(way) / ways;
+        core_end = cores * (static_cast<int>(way) + 1) / ways;
+        wayBusy_[way] = 1;
+        const int id = gpu.launchKernel(
+            info, core_begin, core_end,
+            kNormalPriorityBase + static_cast<int>(admitSeq_));
+        wayOf_[id] = way;
+        outcome.kernelId = id;
+    } else {
+        const int priority = preemptor
+            ? static_cast<int>(admitSeq_)
+            : kNormalPriorityBase + static_cast<int>(admitSeq_);
+        outcome.kernelId =
+            gpu.launchKernel(info, core_begin, core_end, priority);
+    }
+    ++admitSeq_;
+    outcome.admit = now;
+
+    Active active;
+    active.outcome = idx;
+    active.kernelId = outcome.kernelId;
+    active.preemptor = preemptor;
+    active.victims = std::move(victims);
+    active_.push_back(std::move(active));
+
+    if (ready_pos != 0)
+        ++reorders_;
+    ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(ready_pos));
+}
+
+bool
+ServingEngine::tryAdmit(Gpu& gpu, Cycle now)
+{
+    if (ready_.empty())
+        return false;
+
+    switch (cfg_.policy) {
+      case ServePolicy::Sequential:
+        if (!active_.empty())
+            return false;
+        break;
+      case ServePolicy::Spatial: {
+        const bool free_way = std::any_of(
+            wayBusy_.begin(), wayBusy_.end(), [](char b) { return !b; });
+        if (!free_way)
+            return false;
+        break;
+      }
+      case ServePolicy::Fcfs:
+      case ServePolicy::Reorder:
+      case ServePolicy::ReorderPreempt:
+        if (active_.size() >= cfg_.maxConcurrent)
+            return false;
+        // LCS-headroom admission: only co-schedule when the residents'
+        // decided limits leave enough CTA slots for a newcomer. While
+        // a resident is still in its monitoring phase it claims its
+        // whole occupancy, so admission naturally waits for N_opt.
+        if (!active_.empty() &&
+            headroomSlots(gpu) < cfg_.admitHeadroomSlots) {
+            ++headroomDenials_;
+            return false;
+        }
+        break;
+    }
+
+    launch(gpu, now, pickNext(gpu, now), false, {});
+    return true;
+}
+
+void
+ServingEngine::tryPreempt(Gpu& gpu, Cycle now)
+{
+    if (ready_.empty())
+        return;
+    // One preemption in flight at a time: a second drain would stack
+    // machine-wide slowdowns with no freed slots to show for it yet.
+    const bool preempting = std::any_of(
+        active_.begin(), active_.end(),
+        [](const Active& a) { return a.preemptor; });
+    if (preempting)
+        return;
+
+    // The most urgent stuck request, if any.
+    std::size_t best = ready_.size();
+    for (std::size_t pos = 0; pos < ready_.size(); ++pos) {
+        if (!urgent(pos, now))
+            continue;
+        if (best == ready_.size() ||
+            outcomes_[ready_[pos]].deadline <
+                outcomes_[ready_[best]].deadline) {
+            best = pos;
+        }
+    }
+    if (best == ready_.size())
+        return;
+
+    // Victim: the running kernel with the most predicted work left.
+    // It must still have undispatched CTAs — draining a fully
+    // dispatched kernel frees nothing — and must not already drain.
+    int victim = kInvalidId;
+    Cycle victim_remaining = 0;
+    for (const Active& active : active_) {
+        if (active.preemptor)
+            continue;
+        const KernelInstance& kernel = gpu.kernel(active.kernelId);
+        if (kernel.finished() || kernel.dispatchDone())
+            continue;
+        if (gpu.kernelDraining(active.kernelId))
+            continue;
+        const Cycle remaining = predictRemainingFor(gpu, active, now);
+        if (victim == kInvalidId || remaining > victim_remaining ||
+            (remaining == victim_remaining &&
+             active.kernelId < victim)) {
+            victim = active.kernelId;
+            victim_remaining = remaining;
+        }
+    }
+    if (victim == kInvalidId)
+        return;
+    // Only worth the machine-wide disturbance when the victim would
+    // otherwise outlast the urgent request's whole run.
+    if (victim_remaining <= predictTotalFor(outcomes_[ready_[best]]))
+        return;
+
+    gpu.requestDrain(victim, true);
+    ++preemptions_;
+    launch(gpu, now, best, true, {victim});
+}
+
+void
+ServingEngine::decide(Gpu& gpu, Cycle now)
+{
+    while (tryAdmit(gpu, now)) {
+    }
+    if (cfg_.policy == ServePolicy::ReorderPreempt)
+        tryPreempt(gpu, now);
+}
+
+ServingRunResult
+ServingEngine::run(const std::vector<LaunchRequest>& trace)
+{
+    if (ran_)
+        fatal("serve: ServingEngine::run may only be called once");
+    ran_ = true;
+    if (trace.empty())
+        fatal("serve: empty trace");
+
+    // Kernel pool: one KernelInfo per distinct workload, owned here so
+    // it outlives the Gpu below (launchKernel keeps the pointer).
+    for (const LaunchRequest& req : trace) {
+        if (pool_.find(req.workload) == pool_.end())
+            pool_.emplace(req.workload, makeWorkload(req.workload));
+    }
+
+    ingest(trace);
+
+    Gpu gpu(gpuConfig_);
+    std::size_t remaining = outcomes_.size();
+    while (remaining > 0) {
+        const Cycle now = gpu.cycle();
+        bool event = releaseArrivals(now);
+        if (collectCompletions(gpu, now)) {
+            event = true;
+            std::size_t unfinished = 0;
+            for (const RequestOutcome& outcome : outcomes_) {
+                if (outcome.finish == kCycleNever)
+                    ++unfinished;
+            }
+            remaining = unfinished;
+        }
+        // Decisions happen only on events (arrival or completion), so
+        // the schedule never depends on which intermediate cycles the
+        // engine happened to observe — the property that keeps runs
+        // byte-identical with idle fast-forward on or off.
+        if (event)
+            decide(gpu, now);
+        if (remaining == 0)
+            break;
+        // Fence idle fast-forward at the next arrival: a quiet GPU may
+        // not jump past the cycle where this engine will act.
+        gpu.setExternalEventCycle(nextArrivalCycle());
+        gpu.stepCycle();
+    }
+
+    ServingRunResult result;
+    result.preemptions = preemptions_;
+    result.reorders = reorders_;
+    Cycle last = 0;
+    for (const RequestOutcome& outcome : outcomes_) {
+        BSCHED_CHECK(outcome.finish != kCycleNever,
+                     "serve: run ended with unserved request ",
+                     outcome.req.seq);
+        last = std::max(last, outcome.finish);
+    }
+    result.totalCycles = last;
+    result.stats.set("serve.requests",
+                     static_cast<double>(outcomes_.size()));
+    result.stats.set("serve.preemptions",
+                     static_cast<double>(preemptions_));
+    result.stats.set("serve.reorders", static_cast<double>(reorders_));
+    result.stats.set("serve.headroom_denials",
+                     static_cast<double>(headroomDenials_));
+    result.stats.set("serve.drain_requests",
+                     static_cast<double>(
+                         gpu.ctaScheduler().drainRequests()));
+    result.outcomes = std::move(outcomes_);
+    return result;
+}
+
+} // namespace bsched

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * The kernel-launch serving engine: an admission/dispatch layer in
+ * front of Gpu::launchKernel that serves a multi-tenant trace of
+ * LaunchRequests on one simulated GPU.
+ *
+ * Policies:
+ *  - Sequential      one kernel at a time, FCFS (classic execution model)
+ *  - Spatial         FCFS onto disjoint core ranges (Fermi-style CKE)
+ *  - Fcfs            shared cores, arrival order, LCS-headroom admission
+ *  - Reorder         + queue reordering: shortest-predicted-job-first
+ *                    with earliest-deadline escalation
+ *  - ReorderPreempt  + CTA-drain preemption of the longest-remaining
+ *                    kernel when a deadline-urgent request is stuck
+ *
+ * The engine is strictly event-driven: admission/preemption decisions
+ * happen only when an arrival or a completion occurred, never on a
+ * bare cycle count inside a quiet span. Combined with the GPU's
+ * external-event fence (setExternalEventCycle bounds idle fast-forward
+ * at the next pending arrival), every run is byte-identical with fast-
+ * forward on or off — the contract the serving artifacts are gated on.
+ */
+
+#ifndef BSCHED_SERVE_ENGINE_HH
+#define BSCHED_SERVE_ENGINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "kernel/kernel_info.hh"
+#include "serve/predictor.hh"
+#include "serve/request.hh"
+#include "sim/config.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+class Gpu;
+
+/** How queued launches are admitted and scheduled. */
+enum class ServePolicy : std::uint8_t
+{
+    Sequential,
+    Spatial,
+    Fcfs,
+    Reorder,
+    ReorderPreempt,
+};
+
+const char* toString(ServePolicy policy);
+
+/** All ServePolicy values in canonical bench order. */
+std::vector<ServePolicy> allServePolicies();
+
+/** Serving-layer knobs. */
+struct ServeConfig
+{
+    ServePolicy policy = ServePolicy::Fcfs;
+
+    /** In-flight kernel cap for the shared-core policies. */
+    std::uint32_t maxConcurrent = 2;
+
+    /**
+     * Free CTA slots (summed over cores, after the co-residents'
+     * effective LCS caps) required before a second kernel is admitted
+     * alongside running ones. 0 admits eagerly on the concurrency cap
+     * alone.
+     */
+    std::uint32_t admitHeadroomSlots = 8;
+
+    /** Cycles a kernel must run before its monitored IPC is trusted. */
+    Cycle monitorCycles = 3000;
+
+    /** Core-range partitions for ServePolicy::Spatial. */
+    std::uint32_t spatialWays = 2;
+
+    /**
+     * Deadline-risk margin: a queued request is "urgent" when
+     * now + riskNum/riskDen * predicted_total crosses its deadline.
+     * Kept rational so the comparison stays integral.
+     */
+    std::uint32_t riskNum = 3;
+    std::uint32_t riskDen = 2;
+
+    /** Whole-kernel IPC assumed by the predictor before any history. */
+    double fallbackIpc = 8.0;
+};
+
+/** One engine run: per-request outcomes plus engine-level counters. */
+struct ServingRunResult
+{
+    std::vector<RequestOutcome> outcomes;
+    Cycle totalCycles = 0;        ///< last completion cycle
+    std::uint64_t preemptions = 0; ///< drain-preemptions triggered
+    std::uint64_t reorders = 0;    ///< admissions out of arrival order
+    StatSet stats;                 ///< engine-level counters
+};
+
+/**
+ * Serves one trace on one freshly constructed GPU. The engine owns the
+ * KernelInfo pool built from the trace's workload names (kernels must
+ * outlive the Gpu), the runtime predictor, and all queue state; run()
+ * may be called once per instance.
+ */
+class ServingEngine
+{
+  public:
+    ServingEngine(const GpuConfig& gpu_config, const ServeConfig& serve);
+
+    /** Serve @p trace to completion and report per-request outcomes. */
+    ServingRunResult run(const std::vector<LaunchRequest>& trace);
+
+  private:
+    /** A request admitted to the GPU and not yet finished. */
+    struct Active
+    {
+        std::size_t outcome = 0; ///< index into outcomes_
+        int kernelId = kInvalidId;
+        bool preemptor = false;  ///< admitted over a draining victim
+        std::vector<int> victims; ///< kernel ids drained for this one
+    };
+
+    // --- trace bookkeeping ---------------------------------------------
+    void ingest(const std::vector<LaunchRequest>& trace);
+    bool releaseArrivals(Cycle now);   ///< pending -> ready; true if any
+    bool collectCompletions(Gpu& gpu, Cycle now);
+    Cycle nextArrivalCycle() const;    ///< earliest pending release
+
+    // --- policy ---------------------------------------------------------
+    void decide(Gpu& gpu, Cycle now);
+    bool tryAdmit(Gpu& gpu, Cycle now);
+    void tryPreempt(Gpu& gpu, Cycle now);
+
+    /** Position in ready_ the policy would admit next. */
+    std::size_t pickNext(const Gpu& gpu, Cycle now) const;
+
+    /** Free CTA slots after the active kernels' effective claims. */
+    std::uint64_t headroomSlots(const Gpu& gpu) const;
+
+    /** True when @p ready_pos is deadline-urgent at @p now. */
+    bool urgent(std::size_t ready_pos, Cycle now) const;
+
+    Cycle predictTotalFor(const RequestOutcome& outcome) const;
+    Cycle predictRemainingFor(const Gpu& gpu, const Active& active,
+                              Cycle now) const;
+
+    void launch(Gpu& gpu, Cycle now, std::size_t ready_pos,
+                bool preemptor, std::vector<int> victims);
+
+    GpuConfig gpuConfig_;
+    ServeConfig cfg_;
+
+    /** Kernel pool by workload name; outlives the Gpu built in run(). */
+    std::map<std::string, KernelInfo> pool_;
+    RuntimePredictor predictor_;
+
+    std::vector<RequestOutcome> outcomes_;
+    /** Outcome indices not yet released, sorted by (release, seq). */
+    std::vector<std::size_t> pending_;
+    /** Per-tenant FIFOs of unreleased closed-loop outcome indices. */
+    std::map<int, std::vector<std::size_t>> closed_;
+    /** Released, not yet admitted (release order). */
+    std::vector<std::size_t> ready_;
+    std::vector<Active> active_;
+
+    std::uint32_t admitSeq_ = 0;    ///< admission counter -> priority
+    std::uint64_t preemptions_ = 0;
+    std::uint64_t reorders_ = 0;
+    std::uint64_t headroomDenials_ = 0;
+    /** Spatial: which core-range slots are busy (by way index). */
+    std::vector<char> wayBusy_;
+    std::map<int, std::uint32_t> wayOf_; ///< kernelId -> way
+    bool ran_ = false;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SERVE_ENGINE_HH

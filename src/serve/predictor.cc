@@ -1,0 +1,57 @@
+#include "serve/predictor.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+
+namespace bsched {
+
+Cycle
+RuntimePredictor::predictTotal(const std::string& workload,
+                               std::uint64_t total_instrs) const
+{
+    const auto it = history_.find(workload);
+    if (it != history_.end() && it->second.samples > 0)
+        return static_cast<Cycle>(it->second.ewmaCycles);
+    const double cycles =
+        static_cast<double>(total_instrs) / fallbackIpc_;
+    return std::max<Cycle>(1, static_cast<Cycle>(cycles));
+}
+
+Cycle
+RuntimePredictor::predictRemaining(const std::string& workload,
+                                   std::uint64_t total_instrs,
+                                   std::uint64_t issued, Cycle elapsed,
+                                   Cycle monitor_cycles) const
+{
+    if (issued >= total_instrs)
+        return 1; // issue done; only in-flight memory left
+    if (elapsed >= monitor_cycles && issued > 0) {
+        // Monitoring window over: extrapolate the observed rate.
+        const double ipc = static_cast<double>(issued) /
+            static_cast<double>(elapsed);
+        const double rem =
+            static_cast<double>(total_instrs - issued) / ipc;
+        return std::max<Cycle>(1, static_cast<Cycle>(rem));
+    }
+    const Cycle total = predictTotal(workload, total_instrs);
+    return total > elapsed ? total - elapsed : 1;
+}
+
+void
+RuntimePredictor::recordCompletion(const std::string& workload,
+                                   Cycle actual)
+{
+    if (actual == 0)
+        fatal("predictor: zero-cycle completion for ", workload);
+    History& h = history_[workload];
+    if (h.samples == 0)
+        h.ewmaCycles = static_cast<double>(actual);
+    else
+        h.ewmaCycles = alpha_ * static_cast<double>(actual) +
+            (1.0 - alpha_) * h.ewmaCycles;
+    ++h.samples;
+    ++completions_;
+}
+
+} // namespace bsched

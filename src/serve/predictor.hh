@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Online kernel-runtime predictor for the serving engine's reordering
+ * policies. Two signals, combined:
+ *
+ *  - History: an EWMA of completed runtimes per workload name. The
+ *    first completion seeds it; later completions blend in, so repeat
+ *    launches of a suite kernel predict well almost immediately.
+ *  - Monitoring-phase IPC: once a running kernel has been resident
+ *    past the monitoring window, its observed instructions-per-cycle
+ *    extrapolates the remaining instructions to remaining cycles —
+ *    the same observe-then-commit structure LCS uses for N_opt, reused
+ *    at the kernel granularity.
+ *
+ * Predictions only need to *order* queued work (shortest-job-first,
+ * deadline risk); absolute accuracy is not required. Everything is
+ * plain double arithmetic over deterministic counters in a fixed call
+ * order, so predictions — and hence schedules — are reproducible.
+ */
+
+#ifndef BSCHED_SERVE_PREDICTOR_HH
+#define BSCHED_SERVE_PREDICTOR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** EWMA-over-history + monitored-IPC runtime estimator. */
+class RuntimePredictor
+{
+  public:
+    /**
+     * @param fallback_ipc whole-kernel IPC assumed when no history
+     *        exists yet (a deliberately rough machine-level guess; it
+     *        only seeds the ordering until real completions arrive).
+     */
+    explicit RuntimePredictor(double fallback_ipc = 8.0,
+                              double alpha = 0.5)
+        : fallbackIpc_(fallback_ipc), alpha_(alpha)
+    {}
+
+    /** Predicted total runtime of @p workload from history, falling
+     *  back to @p total_instrs / fallback_ipc. */
+    Cycle predictTotal(const std::string& workload,
+                       std::uint64_t total_instrs) const;
+
+    /**
+     * Predicted remaining runtime of a *running* kernel. Uses the
+     * monitored IPC (@p issued instructions over @p elapsed cycles)
+     * once @p elapsed >= @p monitor_cycles and issue has started;
+     * before that, history minus elapsed.
+     */
+    Cycle predictRemaining(const std::string& workload,
+                           std::uint64_t total_instrs,
+                           std::uint64_t issued, Cycle elapsed,
+                           Cycle monitor_cycles) const;
+
+    /** Fold a completed run into the workload's history. */
+    void recordCompletion(const std::string& workload, Cycle actual);
+
+    /** Completions recorded so far (observability). */
+    std::uint64_t completions() const { return completions_; }
+
+  private:
+    struct History
+    {
+        double ewmaCycles = 0.0;
+        std::uint64_t samples = 0;
+    };
+
+    double fallbackIpc_;
+    double alpha_; ///< EWMA weight of the newest sample
+    std::map<std::string, History> history_;
+    std::uint64_t completions_ = 0;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SERVE_PREDICTOR_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The unit of work of the kernel-launch serving layer: one tenant's
+ * request to run one suite kernel, plus the record of what happened to
+ * it. Traces are vectors of LaunchRequests produced by the traffic
+ * generator (traffic.hh) and consumed by the serving engine (engine.hh).
+ */
+
+#ifndef BSCHED_SERVE_REQUEST_HH
+#define BSCHED_SERVE_REQUEST_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** One kernel-launch request in a serving trace. */
+struct LaunchRequest
+{
+    /** Global trace position (ties in arrival order break by seq). */
+    std::uint64_t seq = 0;
+
+    /** Issuing tenant (index into the traffic spec's tenant list). */
+    int tenant = 0;
+
+    /** Suite workload name (workloads/suite.hh). */
+    std::string workload;
+
+    /**
+     * Arrival cycle. kCycleNever marks a closed-loop request: it is
+     * released @c thinkCycles after one of its tenant's earlier
+     * requests completes, so its concrete arrival only exists at serve
+     * time.
+     */
+    Cycle arrival = 0;
+
+    /** Closed-loop think time between a completion and this release. */
+    Cycle thinkCycles = 0;
+
+    /**
+     * Relative deadline: the request must finish within this many
+     * cycles of its (concrete) arrival. 0 = best-effort, no deadline.
+     */
+    Cycle deadlineSlack = 0;
+};
+
+/** What the serving engine did with one request. */
+struct RequestOutcome
+{
+    LaunchRequest req;
+
+    /** Concrete arrival (equals req.arrival for open-loop requests). */
+    Cycle release = 0;
+
+    /** Cycle the kernel was launched on the GPU; kCycleNever = never. */
+    Cycle admit = kCycleNever;
+
+    /** Cycle the kernel's last CTA completed; kCycleNever = never. */
+    Cycle finish = kCycleNever;
+
+    /** Absolute deadline (release + slack); kCycleNever = none. */
+    Cycle deadline = kCycleNever;
+
+    /** GPU kernel id assigned at admission. */
+    int kernelId = kInvalidId;
+
+    /** Launch-to-finish latency as served (queueing + execution). */
+    Cycle latency() const { return finish - release; }
+
+    /** True when a deadline existed and was missed. */
+    bool missedDeadline() const
+    {
+        return deadline != kCycleNever && finish > deadline;
+    }
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SERVE_REQUEST_HH

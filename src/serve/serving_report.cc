@@ -1,0 +1,161 @@
+#include "serve/serving_report.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "obs/sink.hh"
+#include "sim/log.hh"
+#include "sim/stats.hh"
+
+namespace bsched {
+
+ServingSummary
+summarizeServing(const std::string& policy, const std::string& trace,
+                 const ServingRunResult& result,
+                 const std::map<std::string, Cycle>& isolated)
+{
+    if (result.outcomes.empty())
+        fatal("summarizeServing: no outcomes");
+
+    ServingSummary summary;
+    summary.policy = policy;
+    summary.trace = trace;
+    summary.requests = result.outcomes.size();
+    summary.preemptions = result.preemptions;
+    summary.reorders = result.reorders;
+    summary.totalCycles = result.totalCycles;
+
+    std::vector<double> latencies;
+    latencies.reserve(result.outcomes.size());
+    // Per-tenant sums of latency / isolated-runtime (ANTT numerators).
+    std::map<int, std::pair<double, std::uint64_t>> tenant_norm;
+    double latency_sum = 0.0;
+    for (const RequestOutcome& outcome : result.outcomes) {
+        const auto latency = static_cast<double>(outcome.latency());
+        latencies.push_back(latency);
+        latency_sum += latency;
+        if (outcome.deadline != kCycleNever) {
+            ++summary.deadlines;
+            if (outcome.missedDeadline())
+                ++summary.misses;
+        }
+        const auto it = isolated.find(outcome.req.workload);
+        if (it == isolated.end() || it->second == 0) {
+            fatal("summarizeServing: no isolated runtime for ",
+                  outcome.req.workload);
+        }
+        auto& [sum, count] = tenant_norm[outcome.req.tenant];
+        sum += latency / static_cast<double>(it->second);
+        ++count;
+    }
+
+    summary.p50Latency = percentile(latencies, 50.0);
+    summary.p99Latency = percentile(latencies, 99.0);
+    summary.meanLatency =
+        latency_sum / static_cast<double>(latencies.size());
+    summary.missRate = summary.deadlines == 0
+        ? 0.0
+        : static_cast<double>(summary.misses) /
+            static_cast<double>(summary.deadlines);
+    if (result.totalCycles > 0) {
+        summary.throughput = static_cast<double>(summary.requests) *
+            1e6 / static_cast<double>(result.totalCycles);
+    }
+
+    // Fairness: tenants progress at min(ANTT)/max(ANTT) relative
+    // rates; equal normalized latency across tenants scores 1.
+    double antt_min = 0.0;
+    double antt_max = 0.0;
+    for (const auto& [tenant, acc] : tenant_norm) {
+        const double antt = acc.first / static_cast<double>(acc.second);
+        summary.tenantAntt.push_back(antt);
+        if (antt_max == 0.0) {
+            antt_min = antt_max = antt;
+        } else {
+            antt_min = std::min(antt_min, antt);
+            antt_max = std::max(antt_max, antt);
+        }
+    }
+    summary.fairness = antt_max == 0.0 ? 1.0 : antt_min / antt_max;
+    return summary;
+}
+
+ServingReport::ServingReport(std::string bench_name)
+    : name_(std::move(bench_name))
+{
+    if (name_.empty())
+        fatal("ServingReport: empty bench name");
+}
+
+void
+ServingReport::addRun(const ServingSummary& summary)
+{
+    for (const ServingSummary& existing : runs_) {
+        if (existing.policy == summary.policy &&
+            existing.trace == summary.trace) {
+            fatal("ServingReport: duplicate run ", summary.policy, "/",
+                  summary.trace);
+        }
+    }
+    runs_.push_back(summary);
+}
+
+void
+ServingReport::addMetric(const std::string& name, double value)
+{
+    metrics_.emplace_back(name, value);
+}
+
+void
+ServingReport::writeJson(std::ostream& os) const
+{
+    os << "{\n  \"schema\": \"bsched-serving-v1\",\n";
+    os << "  \"bench\": \"" << jsonEscape(name_) << "\",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        const ServingSummary& run = runs_[i];
+        os << "    {\"policy\": \"" << jsonEscape(run.policy)
+           << "\", \"trace\": \"" << jsonEscape(run.trace) << "\",\n"
+           << "     \"requests\": " << run.requests
+           << ", \"deadlines\": " << run.deadlines
+           << ", \"misses\": " << run.misses
+           << ", \"preemptions\": " << run.preemptions
+           << ", \"reorders\": " << run.reorders
+           << ", \"total_cycles\": " << run.totalCycles << ",\n"
+           << "     \"throughput_per_mcycle\": "
+           << jsonNumber(run.throughput)
+           << ", \"p50_latency\": " << jsonNumber(run.p50Latency)
+           << ", \"p99_latency\": " << jsonNumber(run.p99Latency)
+           << ", \"mean_latency\": " << jsonNumber(run.meanLatency)
+           << ",\n     \"deadline_miss_rate\": "
+           << jsonNumber(run.missRate)
+           << ", \"fairness\": " << jsonNumber(run.fairness)
+           << ", \"tenant_antt\": [";
+        for (std::size_t t = 0; t < run.tenantAntt.size(); ++t) {
+            if (t != 0)
+                os << ", ";
+            os << jsonNumber(run.tenantAntt[t]);
+        }
+        os << "]}";
+        os << (i + 1 < runs_.size() ? ",\n" : "\n");
+    }
+    os << "  ],\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (i != 0)
+            os << ",";
+        os << "\n    \"" << jsonEscape(metrics_[i].first)
+           << "\": " << jsonNumber(metrics_[i].second);
+    }
+    os << (metrics_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string
+ServingReport::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace bsched

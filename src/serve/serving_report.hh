@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Serving-layer metrics and the `bsched-serving-v1` artifact. One
+ * ServingSummary condenses one (policy, trace) engine run into the
+ * serving headline numbers — throughput, p50/p99 launch-to-finish
+ * latency, deadline-miss rate, per-tenant ANTT-style fairness — and a
+ * ServingReport serializes a set of summaries deterministically (same
+ * bytes for any --jobs, fast-forward on or off), so the committed
+ * BENCH_serving.json can be CI-gated byte-for-byte.
+ */
+
+#ifndef BSCHED_SERVE_SERVING_REPORT_HH
+#define BSCHED_SERVE_SERVING_REPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/engine.hh"
+
+namespace bsched {
+
+/** Headline serving metrics of one (policy, trace) run. */
+struct ServingSummary
+{
+    std::string policy;
+    std::string trace;
+
+    std::uint64_t requests = 0;
+    std::uint64_t deadlines = 0; ///< requests that carried a deadline
+    std::uint64_t misses = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t reorders = 0;
+    Cycle totalCycles = 0; ///< last completion
+
+    /** Served kernels per million cycles. */
+    double throughput = 0.0;
+
+    /** Launch-to-finish latency quantiles/mean (cycles). */
+    double p50Latency = 0.0;
+    double p99Latency = 0.0;
+    double meanLatency = 0.0;
+
+    /** misses / deadlines; 0 when no request had a deadline. */
+    double missRate = 0.0;
+
+    /**
+     * Per-tenant ANTT-style normalized latency (mean over the tenant's
+     * requests of latency / isolated runtime), and the min/max fairness
+     * across tenants: min normalized progress over max, in (0, 1].
+     */
+    std::vector<double> tenantAntt;
+    double fairness = 1.0;
+};
+
+/**
+ * Reduce one engine run to its summary. @p isolated maps each workload
+ * name to its isolated full-machine runtime (the ANTT denominator);
+ * fatal() if a served workload is missing from it.
+ */
+ServingSummary summarizeServing(const std::string& policy,
+                                const std::string& trace,
+                                const ServingRunResult& result,
+                                const std::map<std::string, Cycle>&
+                                    isolated);
+
+/**
+ * Accumulates serving summaries and derived metrics and writes the
+ * `bsched-serving-v1` JSON artifact. Rows and metrics serialize in
+ * insertion order; nothing parallelism- or wall-clock-dependent is
+ * included.
+ */
+class ServingReport
+{
+  public:
+    explicit ServingReport(std::string bench_name);
+
+    void addRun(const ServingSummary& summary);
+    void addMetric(const std::string& name, double value);
+
+    std::size_t runs() const { return runs_.size(); }
+
+    void writeJson(std::ostream& os) const;
+
+    /** writeJson to a string (tests, byte-identity checks). */
+    std::string toJson() const;
+
+  private:
+    std::string name_;
+    std::vector<ServingSummary> runs_;
+    std::vector<std::pair<std::string, double>> metrics_;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SERVE_SERVING_REPORT_HH

@@ -1,0 +1,158 @@
+#include "serve/traffic.hh"
+
+#include <algorithm>
+
+#include "sim/log.hh"
+#include "sim/rng.hh"
+
+namespace bsched {
+
+const char*
+toString(ArrivalProcess process)
+{
+    switch (process) {
+      case ArrivalProcess::Poisson: return "poisson";
+      case ArrivalProcess::Bursty: return "bursty";
+      case ArrivalProcess::ClosedLoop: return "closed";
+    }
+    return "?";
+}
+
+namespace {
+
+/** (a * b) >> 63 with a, b in Q63. */
+std::uint64_t
+mulQ63(std::uint64_t a, std::uint64_t b)
+{
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) >> 63);
+}
+
+} // namespace
+
+std::uint64_t
+negLogQ32(std::uint64_t r)
+{
+    // u = r / 2^64 with r pinned away from 0 so ln(u) is finite.
+    if (r == 0)
+        r = 1;
+    // Normalize: r = m * 2^k with m in [1, 2), m held in Q63.
+    const int k = 63 - __builtin_clzll(r);
+    const std::uint64_t m_q63 = r << (63 - k);
+
+    // ln(m) via the atanh series: z = (m-1)/(m+1) in [0, 1/3), and
+    // ln(m) = 2 * (z + z^3/3 + z^5/5 + ...). z^2 < 1/9, so 13 odd
+    // terms push truncation below Q32 resolution.
+    const std::uint64_t num = m_q63 - (1ULL << 63);
+    const unsigned __int128 den =
+        static_cast<unsigned __int128>(m_q63) + (1ULL << 63);
+    const std::uint64_t z = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(num) << 63) / den);
+    const std::uint64_t z2 = mulQ63(z, z);
+    std::uint64_t power = z;
+    std::uint64_t sum = 0; // atanh(z) in Q63; bounded by atanh(1/3) < 0.35
+    for (std::uint64_t j = 1; j <= 25; j += 2) {
+        sum += power / j;
+        power = mulQ63(power, z2);
+        if (power == 0)
+            break;
+    }
+    const std::uint64_t ln_m_q32 = sum >> 30; // 2 * sum, Q63 -> Q32
+
+    // -ln(u) = (64 - k) * ln2 - ln(m); m >= 1 keeps this non-negative.
+    constexpr std::uint64_t kLn2Q32 = 2977044472ULL; // round(ln2 * 2^32)
+    const std::uint64_t whole = static_cast<std::uint64_t>(64 - k) * kLn2Q32;
+    return whole > ln_m_q32 ? whole - ln_m_q32 : 0;
+}
+
+namespace {
+
+/** Exponential gap with mean @p mean cycles; at least 1. */
+Cycle
+expGap(Rng& rng, std::uint64_t mean)
+{
+    const std::uint64_t q32 = negLogQ32(rng.next());
+    const std::uint64_t gap = (mean * q32) >> 32;
+    return gap == 0 ? 1 : gap;
+}
+
+void
+validateTenant(const TenantSpec& tenant, std::size_t index)
+{
+    if (tenant.mix.empty())
+        fatal("traffic: tenant ", index, " has an empty kernel mix");
+    if (tenant.requests == 0)
+        fatal("traffic: tenant ", index, " issues zero requests");
+    if (tenant.meanGapCycles == 0)
+        fatal("traffic: tenant ", index, " has zero mean gap");
+    if (tenant.process == ArrivalProcess::Bursty && tenant.burstLen == 0)
+        fatal("traffic: tenant ", index, " has zero burst length");
+    if (tenant.process == ArrivalProcess::ClosedLoop &&
+        tenant.closedDepth == 0) {
+        fatal("traffic: tenant ", index, " has zero closed-loop depth");
+    }
+}
+
+} // namespace
+
+std::vector<LaunchRequest>
+generateTrace(const TrafficSpec& spec)
+{
+    if (spec.tenants.empty())
+        fatal("traffic: spec has no tenants");
+
+    std::vector<LaunchRequest> trace;
+    for (std::size_t t = 0; t < spec.tenants.size(); ++t) {
+        const TenantSpec& tenant = spec.tenants[t];
+        validateTenant(tenant, t);
+        // Per-tenant stream: seeded independently so adding a tenant
+        // never perturbs the others' arrivals.
+        Rng rng(mix64(hashCombine(spec.seed, t + 1)));
+        Cycle clock = 0;
+        std::uint32_t in_burst = 0;
+        for (std::uint32_t i = 0; i < tenant.requests; ++i) {
+            LaunchRequest req;
+            req.tenant = static_cast<int>(t);
+            req.workload = tenant.mix[rng.nextBelow(tenant.mix.size())];
+            req.deadlineSlack = tenant.deadlineSlack;
+            switch (tenant.process) {
+              case ArrivalProcess::Poisson:
+                clock += expGap(rng, tenant.meanGapCycles);
+                req.arrival = clock;
+                break;
+              case ArrivalProcess::Bursty:
+                if (in_burst == 0)
+                    clock += expGap(rng, tenant.meanGapCycles);
+                else
+                    clock += tenant.intraBurstGapCycles;
+                in_burst = (in_burst + 1) % tenant.burstLen;
+                req.arrival = clock;
+                break;
+              case ArrivalProcess::ClosedLoop:
+                if (i < tenant.closedDepth) {
+                    clock += expGap(rng, tenant.meanGapCycles);
+                    req.arrival = clock;
+                } else {
+                    req.arrival = kCycleNever;
+                    req.thinkCycles = expGap(rng, tenant.meanGapCycles);
+                }
+                break;
+            }
+            trace.push_back(std::move(req));
+        }
+    }
+
+    // Trace order: by concrete arrival, generation order on ties;
+    // closed-loop placeholders (kCycleNever) sort last and keep their
+    // per-tenant FIFO order. stable_sort preserves generation order
+    // exactly where arrivals tie.
+    std::stable_sort(trace.begin(), trace.end(),
+                     [](const LaunchRequest& a, const LaunchRequest& b) {
+                         return a.arrival < b.arrival;
+                     });
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        trace[i].seq = i;
+    return trace;
+}
+
+} // namespace bsched

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Deterministic multi-tenant launch-traffic generator. Each tenant is
+ * an arrival process (Poisson, bursty, or closed-loop) over a kernel
+ * mix drawn from the workload suite; the generator expands a TrafficSpec
+ * into a reproducible trace of LaunchRequests.
+ *
+ * Determinism is load-bearing: the serving artifacts are committed and
+ * CI-gated byte-for-byte, so the same spec must expand to the same
+ * trace on every platform. All sampling is integer-only — exponential
+ * gaps come from a fixed-point -ln(u) (negLogQ32) instead of libm, whose
+ * last-ulp behaviour varies across implementations.
+ */
+
+#ifndef BSCHED_SERVE_TRAFFIC_HH
+#define BSCHED_SERVE_TRAFFIC_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace bsched {
+
+/** How a tenant's requests arrive. */
+enum class ArrivalProcess : std::uint8_t
+{
+    Poisson,    ///< open loop, exponential interarrival gaps
+    Bursty,     ///< open loop, back-to-back bursts separated by long gaps
+    ClosedLoop, ///< at most `depth` outstanding; next release follows a
+                ///< completion after an exponential think time
+};
+
+const char* toString(ArrivalProcess process);
+
+/** One tenant's traffic description. */
+struct TenantSpec
+{
+    ArrivalProcess process = ArrivalProcess::Poisson;
+
+    /** Workload names the tenant draws from (uniformly, seeded). */
+    std::vector<std::string> mix;
+
+    /** Requests this tenant issues over the trace. */
+    std::uint32_t requests = 8;
+
+    /**
+     * Mean gap in cycles: Poisson interarrival, bursty burst-to-burst
+     * spacing, or closed-loop think time.
+     */
+    std::uint64_t meanGapCycles = 100000;
+
+    /** Bursty: requests per burst. */
+    std::uint32_t burstLen = 4;
+
+    /** Bursty: fixed spacing of requests inside one burst. */
+    std::uint64_t intraBurstGapCycles = 500;
+
+    /** Closed-loop: outstanding requests kept in flight. */
+    std::uint32_t closedDepth = 1;
+
+    /** Relative deadline applied to every request; 0 = best-effort. */
+    Cycle deadlineSlack = 0;
+};
+
+/** A complete serving workload: seed + tenants. */
+struct TrafficSpec
+{
+    std::uint64_t seed = 1;
+    std::vector<TenantSpec> tenants;
+};
+
+/**
+ * Fixed-point -ln(u) for u = max(r, 1) / 2^64, returned in Q32
+ * (i.e. round(-ln(u) * 2^32) up to series truncation). Feeding it
+ * uniform 64-bit randoms yields exponential variates via
+ * (mean * negLogQ32(r)) >> 32, entirely in integers: the normalize-
+ * by-clz + atanh-series evaluation uses only 64/128-bit integer ops,
+ * so results are bit-identical on every platform.
+ */
+std::uint64_t negLogQ32(std::uint64_t r);
+
+/**
+ * Expand @p spec into a trace. Open-loop requests carry concrete
+ * arrival cycles and the trace is sorted by (arrival, generation
+ * order); closed-loop requests beyond the initial `closedDepth` window
+ * carry arrival == kCycleNever plus a think time, and are released by
+ * the serving engine in per-tenant FIFO order. Fatal() on malformed
+ * specs (no tenants, empty mixes, zero request counts).
+ */
+std::vector<LaunchRequest> generateTrace(const TrafficSpec& spec);
+
+} // namespace bsched
+
+#endif // BSCHED_SERVE_TRAFFIC_HH

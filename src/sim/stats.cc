@@ -1,5 +1,6 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -107,6 +108,24 @@ geomean(const std::vector<double>& values)
         log_sum += std::log(v);
     }
     return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        fatal("percentile of empty vector");
+    if (p < 0.0 || p > 100.0)
+        fatal("percentile requires p in [0, 100], got ", p);
+    std::sort(values.begin(), values.end());
+    if (p == 0.0)
+        return values.front();
+    // Nearest-rank: the ceil(p/100 * N)-th smallest value (1-based).
+    const auto n = static_cast<double>(values.size());
+    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+    if (rank == 0)
+        rank = 1;
+    return values[rank - 1];
 }
 
 double

@@ -64,6 +64,15 @@ double geomean(const std::vector<double>& values);
 /** Harmonic mean of @p values; fatal() on empty or non-positive input. */
 double harmonicMean(const std::vector<double>& values);
 
+/**
+ * Nearest-rank percentile of @p values (taken by value: sorted
+ * internally). @p p is in [0, 100]; p=0 gives the minimum, p=100 the
+ * maximum. Nearest-rank (no interpolation) keeps the result an actual
+ * sample, so latency quantiles in artifacts stay integral and
+ * byte-stable. Fatal() on empty input or p outside [0, 100].
+ */
+double percentile(std::vector<double> values, double p);
+
 } // namespace bsched
 
 #endif // BSCHED_SIM_STATS_HH

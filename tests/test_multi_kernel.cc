@@ -98,6 +98,91 @@ TEST(MultiKernel, MixedRunsBothKernelsOnEveryCore)
     EXPECT_GT(report.stp(), 0.5);
 }
 
+TEST(MultiKernel, FairnessMetricsFromKnownCycles)
+{
+    MultiKernelReport report;
+    report.isolatedCycles = {100, 100};
+    report.sharedCycles = {150, 300}; // slowdowns 1.5 and 3.0
+    EXPECT_DOUBLE_EQ(report.maxSlowdown(), 3.0);
+    // Normalized progress 1/1.5 vs 1/3: min/max = 0.5.
+    EXPECT_DOUBLE_EQ(report.fairness(), 0.5);
+
+    report.sharedCycles = {200, 200};
+    EXPECT_DOUBLE_EQ(report.maxSlowdown(), 2.0);
+    EXPECT_DOUBLE_EQ(report.fairness(), 1.0); // equal slowdown is fair
+}
+
+TEST(MultiKernel, SequentialIsFairAndBoundsMaxSlowdown)
+{
+    const KernelInfo a = kernel("a", 30);
+    const KernelInfo b = kernel("b", 30);
+    const auto report = runMultiKernel(cfg(), {&a, &b},
+                                       MultiKernelPolicy::Sequential);
+    // Identical kernels run back-to-back: both slow down alike.
+    EXPECT_GT(report.fairness(), 0.8);
+    EXPECT_GE(report.maxSlowdown(), report.antt());
+}
+
+TEST(IsolatedCycleCache, KeyIsContentBased)
+{
+    const KernelInfo a1 = kernel("a", 20);
+    const KernelInfo a2 = kernel("a", 20);
+    const KernelInfo b = kernel("b", 40);
+    const GpuConfig c = cfg();
+    // Same content -> same key, regardless of object identity.
+    EXPECT_EQ(IsolatedCycleCache::key(c, a1),
+              IsolatedCycleCache::key(c, a2));
+    EXPECT_NE(IsolatedCycleCache::key(c, a1),
+              IsolatedCycleCache::key(c, b));
+    // The machine configuration is part of the key.
+    GpuConfig other = cfg();
+    other.numCores = 2;
+    EXPECT_NE(IsolatedCycleCache::key(c, a1),
+              IsolatedCycleCache::key(other, a1));
+}
+
+TEST(IsolatedCycleCache, LookupInsertAndHitAccounting)
+{
+    IsolatedCycleCache cache;
+    Cycle out = 0;
+    EXPECT_FALSE(cache.lookup(42, &out));
+    EXPECT_EQ(cache.hits(), 0u);
+    cache.insert(42, 1234);
+    EXPECT_TRUE(cache.lookup(42, &out));
+    EXPECT_EQ(out, 1234u);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST(IsolatedCycleCache, CachedRunsMatchUncachedBaselines)
+{
+    const KernelInfo a = kernel("a", 20);
+    const KernelInfo b = kernel("b", 40);
+    const GpuConfig c = cfg();
+    const auto plain =
+        runMultiKernel(c, {&a, &b}, MultiKernelPolicy::Spatial);
+
+    IsolatedCycleCache cache;
+    const auto first = runMultiKernel(c, {&a, &b},
+                                      MultiKernelPolicy::Spatial, {},
+                                      nullptr, &cache);
+    EXPECT_EQ(cache.size(), 2u);
+    const std::uint64_t hits_after_first = cache.hits();
+    const auto second = runMultiKernel(c, {&a, &b},
+                                       MultiKernelPolicy::Mixed, {},
+                                       nullptr, &cache);
+    // The second run resolved both baselines from the cache.
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.hits(), hits_after_first + 2);
+
+    // Cached baselines equal freshly simulated ones, so the derived
+    // metrics are identical with and without the cache.
+    ASSERT_EQ(first.isolatedCycles.size(), plain.isolatedCycles.size());
+    EXPECT_EQ(first.isolatedCycles, plain.isolatedCycles);
+    EXPECT_EQ(first.sharedCycles, plain.sharedCycles);
+    EXPECT_EQ(second.isolatedCycles, plain.isolatedCycles);
+}
+
 TEST(MultiKernel, PolicyNames)
 {
     EXPECT_STREQ(toString(MultiKernelPolicy::Sequential), "sequential");

@@ -107,5 +107,30 @@ TEST(Means, DieOnEmptyOrNonPositive)
     EXPECT_DEATH(harmonicMean({-1.0}), "positive");
 }
 
+TEST(Percentile, NearestRankReturnsActualSamples)
+{
+    const std::vector<double> v = {50.0, 10.0, 40.0, 20.0, 30.0};
+    // Nearest-rank: ceil(p/100 * 5)-th smallest; always a sample.
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 20.0), 10.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 30.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 90.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 99.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 50.0);
+}
+
+TEST(Percentile, SingleElementAndUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 50.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 100.0), 3.0);
+}
+
+TEST(Percentile, DiesOnEmptyOrBadP)
+{
+    EXPECT_DEATH(percentile({}, 50.0), "empty");
+    EXPECT_DEATH(percentile({1.0}, -1.0), "0, 100");
+    EXPECT_DEATH(percentile({1.0}, 101.0), "0, 100");
+}
+
 } // namespace
 } // namespace bsched

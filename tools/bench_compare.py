@@ -29,6 +29,17 @@ schema and prints a per-metric delta table. Two schemas are understood:
     as a slower one. Added/removed rows, metrics and modes are reported
     but never fail the comparison (artifacts legitimately grow).
 
+``bsched-serving-v1``
+    Serving artifact from ``fig_serving --emit-json``. Runs are matched
+    by (trace, policy) and judged in three classes: integer counters
+    (requests, deadlines, misses, preemptions, reorders, total_cycles)
+    must match the baseline *exactly* — the serving pipeline is
+    bit-deterministic end to end, so any drift is a model change;
+    latency quantiles and throughput are compared relatively at the
+    tolerance; bounded [0, 1] quantities (deadline_miss_rate, fairness,
+    per-tenant ANTT) are compared by *absolute* delta at the tolerance,
+    because relative deltas explode as they approach 0.
+
 Exit status: 0 when the artifacts match within tolerance (or
 ``--warn-only`` was given), 1 when at least one metric regressed or a
 budget floor was missed, 2 on usage/schema errors. With ``--github``,
@@ -45,7 +56,8 @@ import json
 import sys
 from pathlib import Path
 
-KNOWN_SCHEMAS = ("bsched-simspeed-v1", "bsched-bench-v1")
+KNOWN_SCHEMAS = ("bsched-simspeed-v1", "bsched-bench-v1",
+                 "bsched-serving-v1")
 
 
 def usage_error(message: str) -> None:
@@ -98,6 +110,26 @@ class Comparison:
             else (abs(delta) > tolerance)
         self.lines.append(line)
         if regressed:
+            self.flagged.append(line)
+
+    def compare_abs(self, name: str, base: float, cur: float) -> None:
+        """Diff *cur* against *base* by absolute delta at the tolerance.
+
+        For quantities bounded in [0, 1] (miss rates, fairness scores)
+        a relative delta explodes as the baseline approaches 0; a flat
+        absolute band judges them evenly across their whole range.
+        """
+        delta = cur - base
+        line = f"{name}: {base:g} -> {cur:g} ({delta:+g} abs)"
+        self.lines.append(line)
+        if abs(delta) > self.tolerance:
+            self.flagged.append(line)
+
+    def compare_exact(self, name: str, base: float, cur: float) -> None:
+        """Flag any difference at all (bit-deterministic counters)."""
+        line = f"{name}: {base:g} -> {cur:g} (exact)"
+        self.lines.append(line)
+        if base != cur:
             self.flagged.append(line)
 
     def note(self, text: str) -> None:
@@ -211,6 +243,62 @@ def compare_bench(base: dict, cur: dict, cmp: Comparison) -> None:
             cmp.note(f"metric '{key}' only in current artifact")
 
 
+def compare_serving(base: dict, cur: dict, cmp: Comparison) -> None:
+    EXACT_FIELDS = ("requests", "deadlines", "misses", "preemptions",
+                    "reorders", "total_cycles")
+    RELATIVE_FIELDS = ("throughput_per_mcycle", "p50_latency",
+                       "p99_latency", "mean_latency")
+    ABSOLUTE_FIELDS = ("deadline_miss_rate", "fairness")
+
+    def run_key(run: dict) -> str:
+        return f"{run.get('trace')}/{run.get('policy')}"
+
+    base_runs = {run_key(r): r for r in base.get("runs", [])}
+    cur_runs = {run_key(r): r for r in cur.get("runs", [])}
+    for key, brun in base_runs.items():
+        crun = cur_runs.get(key)
+        if crun is None:
+            cmp.note(f"run '{key}' missing from current artifact")
+            continue
+        for field in EXACT_FIELDS:
+            if field in brun and field in crun:
+                cmp.compare_exact(f"runs[{key}].{field}", brun[field],
+                                  crun[field])
+        for field in RELATIVE_FIELDS:
+            if field in brun and field in crun:
+                cmp.compare(f"runs[{key}].{field}", brun[field],
+                            crun[field])
+        for field in ABSOLUTE_FIELDS:
+            if field in brun and field in crun:
+                cmp.compare_abs(f"runs[{key}].{field}", brun[field],
+                                crun[field])
+        base_antt = brun.get("tenant_antt", [])
+        cur_antt = crun.get("tenant_antt", [])
+        if len(base_antt) != len(cur_antt):
+            cmp.note(f"runs[{key}].tenant_antt changed arity "
+                     f"({len(base_antt)} -> {len(cur_antt)})")
+        else:
+            # ANTT is a slowdown factor >= 1, so a relative band fits.
+            for t, (bval, cval) in enumerate(zip(base_antt, cur_antt)):
+                cmp.compare(f"runs[{key}].tenant_antt[{t}]", bval, cval)
+    for key in cur_runs:
+        if key not in base_runs:
+            cmp.note(f"run '{key}' only in current artifact")
+
+    base_metrics = dict(base.get("metrics", {}))
+    cur_metrics = dict(cur.get("metrics", {}))
+    for key, bval in base_metrics.items():
+        if key not in cur_metrics:
+            cmp.note(f"metric '{key}' missing from current artifact")
+        elif key.endswith("miss_rate_delta_preempt"):
+            cmp.compare_abs(f"metrics.{key}", bval, cur_metrics[key])
+        else:
+            cmp.compare(f"metrics.{key}", bval, cur_metrics[key])
+    for key in cur_metrics:
+        if key not in base_metrics:
+            cmp.note(f"metric '{key}' only in current artifact")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="diff two bsched benchmark artifacts, flag regressions"
@@ -247,6 +335,8 @@ def main() -> int:
     cmp = Comparison(args.tolerance)
     if base["schema"] == "bsched-simspeed-v1":
         compare_simspeed(base, cur, cmp)
+    elif base["schema"] == "bsched-serving-v1":
+        compare_serving(base, cur, cmp)
     else:
         compare_bench(base, cur, cmp)
 
