@@ -8,6 +8,10 @@
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
+#include "serve/engine.hh"
+#include "serve/serve_trace.hh"
+#include "serve/traffic.hh"
+#include "serve_traces.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
 
@@ -65,6 +69,10 @@ parseArgs(int argc, char** argv)
             opts.memProfilePath = next("--mem-profile");
         } else if (std::strncmp(arg, "--mem-profile=", 14) == 0) {
             opts.memProfilePath = arg + 14;
+        } else if (std::strcmp(arg, "--serve-trace") == 0) {
+            opts.serveTracePath = next("--serve-trace");
+        } else if (std::strncmp(arg, "--serve-trace=", 14) == 0) {
+            opts.serveTracePath = arg + 14;
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
         } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
@@ -89,9 +97,9 @@ parseArgs(int argc, char** argv)
         } else {
             fatal("unknown argument '", arg,
                   "' (figures accept --jobs N, --trace FILE, "
-                  "--profile FILE, --mem-profile FILE, --emit-json FILE, "
-                  "--sample-every N, --progress, --no-fast-forward, "
-                  "--log LEVEL)");
+                  "--profile FILE, --mem-profile FILE, --serve-trace FILE, "
+                  "--emit-json FILE, --sample-every N, --progress, "
+                  "--no-fast-forward, --log LEVEL)");
         }
     }
     opts.jobs = resolveJobs(requested);
@@ -124,9 +132,44 @@ writeReport(const BenchOptions& opts, const BenchReport& report)
 }
 
 void
+writeServeTraceArtifact(const BenchOptions& opts)
+{
+    if (opts.serveTracePath.empty())
+        return;
+
+    // Everything here is pinned — trace, policy, machine — so the
+    // artifact bytes never depend on which binary wrote it, on --jobs,
+    // or on fast-forward.
+    const ServeTraceDef def = canonicalServeTrace();
+    const GpuConfig config =
+        makeConfig(WarpSchedKind::GTO, CtaSchedKind::Lazy);
+    ServeConfig serve;
+    serve.policy = ServePolicy::ReorderPreempt;
+
+    ServeTrace trace;
+    ServingEngine engine(config, serve);
+    engine.setTrace(&trace);
+    const ServingRunResult result = engine.run(generateTrace(def.spec));
+
+    ServeTraceReport report("serve_trace");
+    report.addRun(toString(serve.policy), def.name, result, trace);
+    const std::size_t bytes =
+        writeFile(opts.serveTracePath, [&](std::ostream& os) {
+            report.writeJson(os);
+        });
+    std::fprintf(stderr,
+                 "wrote %s (%zu bytes, %s/%s, %zu decisions)\n",
+                 opts.serveTracePath.c_str(), bytes, def.name.c_str(),
+                 toString(serve.policy),
+                 trace.audit.decisions.size());
+}
+
+void
 writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
                   const KernelInfo& kernel, const std::string& label)
 {
+    writeServeTraceArtifact(opts);
+
     const bool want_trace = !opts.tracePath.empty();
     const bool want_profile = !opts.profilePath.empty();
     const bool want_mem = !opts.memProfilePath.empty();

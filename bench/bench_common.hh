@@ -45,6 +45,10 @@ struct BenchOptions
     /** --emit-json FILE: write the figure's BenchReport as JSON. */
     std::string emitJsonPath;
 
+    /** --serve-trace FILE: write a `bsched-servetrace-v1` decision
+     *  audit of the canonical serving run. */
+    std::string serveTracePath;
+
     /** --sample-every N: interval-sampler period for the traced run. */
     Cycle sampleEvery = 0;
 
@@ -87,6 +91,19 @@ void writeReport(const BenchOptions& opts, const BenchReport& report);
  */
 void writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
                        const KernelInfo& kernel, const std::string& label);
+
+/**
+ * Honour --serve-trace: serve the canonical bursty deadline trace
+ * (serve_traces.hh) under the reorder+preempt policy on the canonical
+ * GTO+LCS machine with the decision audit attached, and write the
+ * `bsched-servetrace-v1` JSON to opts.serveTracePath. The run is fixed
+ * — same trace, policy and config from every bench binary — so the
+ * artifact bytes are identical regardless of which binary wrote it,
+ * for any --jobs count, and with fast-forward on or off. No-op when
+ * the flag was not given. writeRunArtifacts calls this, so figures
+ * already emitting run artifacts get it for free.
+ */
+void writeServeTraceArtifact(const BenchOptions& opts);
 
 /** Results of a workload × config sweep, workload-major. */
 struct GridResults

@@ -14,9 +14,11 @@
  * `--emit-json FILE` additionally writes a `bsched-simspeed-v1`
  * artifact: the sim rate of the small kernel bare, with the
  * tracer+sampler stack, with the cycle-accounting profiler, and with
- * the request-level memory profiler, plus a `fast_forward` section
- * timing an idle-heavy and a fully-busy microkernel with idle
- * fast-forward on and off. The committed bench/BENCH_simspeed.json
+ * the request-level memory profiler; a serving-engine pair with and
+ * without the decision audit attached (serve_plain/servetraced); plus
+ * a `fast_forward` section timing an idle-heavy and a fully-busy
+ * microkernel with idle fast-forward on and off. The committed
+ * bench/BENCH_simspeed.json
  * baseline is produced this way and CI's perf-smoke step diffs a fresh
  * artifact against it with tools/bench_compare.py, which hard-gates
  * the machine-independent ratios (fast-forward speedups, profiler
@@ -34,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hh"
 #include "gpu/gpu.hh"
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
@@ -44,6 +47,9 @@
 #include "obs/sampler.hh"
 #include "obs/sink.hh"
 #include "obs/trace.hh"
+#include "serve/engine.hh"
+#include "serve/serve_trace.hh"
+#include "serve/traffic.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
 
@@ -267,7 +273,8 @@ BENCHMARK(BM_WorkloadConstruction)->Unit(benchmark::kMillisecond);
  * google-benchmark owns them here.
  */
 unsigned
-extractJobsArg(int& argc, char** argv, std::string& emit_json)
+extractJobsArg(int& argc, char** argv, std::string& emit_json,
+               std::string& serve_trace)
 {
     unsigned requested = 0;
     int out = 1;
@@ -285,6 +292,12 @@ extractJobsArg(int& argc, char** argv, std::string& emit_json)
             continue;
         } else if (std::strncmp(arg, "--emit-json=", 12) == 0) {
             emit_json = arg + 12;
+            continue;
+        } else if (std::strcmp(arg, "--serve-trace") == 0 && i + 1 < argc) {
+            serve_trace = argv[++i];
+            continue;
+        } else if (std::strncmp(arg, "--serve-trace=", 14) == 0) {
+            serve_trace = arg + 14;
             continue;
         } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
             setDefaultFastForward(false);
@@ -325,13 +338,57 @@ enum class ObsMode
     Plain,       ///< no observers — the null-pointer disabled path
     Observed,    ///< tracer + interval sampler (as --trace runs)
     Profiled,    ///< cycle-accounting profiler only (as --profile runs)
-    MemProfiled  ///< memory profiler only (as --mem-profile runs)
+    MemProfiled, ///< memory profiler only (as --mem-profile runs)
+    ServePlain,  ///< serving engine, no audit — the null-trace_ path
+    ServeTraced  ///< serving engine with the decision audit attached
 };
+
+/**
+ * Small serving trace for the serve_plain/servetraced overhead pair:
+ * two closed-loop tenants cycling the suite's shortest kernels, so the
+ * run is dominated by engine decisions (admissions, completions,
+ * predictor updates) rather than one long kernel — the worst realistic
+ * case for per-decision audit bookkeeping.
+ */
+TrafficSpec
+serveSpec()
+{
+    TrafficSpec spec;
+    spec.seed = 7;
+    TenantSpec t0;
+    t0.process = ArrivalProcess::ClosedLoop;
+    t0.mix = {"lud", "nw"};
+    t0.requests = 8;
+    t0.closedDepth = 2;
+    t0.meanGapCycles = 5000;
+    TenantSpec t1;
+    t1.process = ArrivalProcess::ClosedLoop;
+    t1.mix = {"pf"};
+    t1.requests = 6;
+    t1.closedDepth = 1;
+    t1.meanGapCycles = 8000;
+    spec.tenants = {t0, t1};
+    return spec;
+}
 
 /** One complete simulation with the observers of @p mode attached. */
 std::uint64_t
 simulateOnce(const GpuConfig& config, const KernelInfo& kernel, ObsMode mode)
 {
+    if (mode == ObsMode::ServePlain || mode == ObsMode::ServeTraced) {
+        // Serving-engine pair: @p kernel is unused — the engine builds
+        // its own pool from the trace's workload names.
+        ServeConfig serve;
+        serve.policy = ServePolicy::ReorderPreempt;
+        ServingEngine engine(config, serve);
+        ServeTrace trace;
+        if (mode == ObsMode::ServeTraced)
+            engine.setTrace(&trace);
+        const ServingRunResult result = engine.run(generateTrace(serveSpec()));
+        benchmark::DoNotOptimize(trace.audit.decisions.size());
+        return result.totalCycles;
+    }
+
     // Construct only the observers the mode attaches: an idle
     // Tracer still allocates its event buffers, which would bill a
     // constant per-rep cost against every mode — enough to distort
@@ -466,9 +523,9 @@ writeSimspeedJson(const std::string& path)
     const KernelInfo idle_kernel = idleHeavyKernel();
     const KernelInfo busy_kernel = busyKernel();
 
-    // All eight points in ONE interleaved trial schedule, so every
-    // gated ratio (observer overheads, fast-forward speedups) divides
-    // measurements taken moments apart.
+    // All ten points in ONE interleaved trial schedule, so every
+    // gated ratio (observer overheads, serve-audit overhead,
+    // fast-forward speedups) divides measurements taken moments apart.
     const std::vector<RatePoint> points = {
         {&config, &kernel, ObsMode::Plain},
         {&config, &kernel, ObsMode::Observed},
@@ -478,6 +535,8 @@ writeSimspeedJson(const std::string& path)
         {&ff_off_cfg, &idle_kernel, ObsMode::Plain},
         {&ff_on_cfg, &busy_kernel, ObsMode::Plain},
         {&ff_off_cfg, &busy_kernel, ObsMode::Plain},
+        {&config, &kernel, ObsMode::ServePlain},
+        {&config, &kernel, ObsMode::ServeTraced},
     };
     const std::vector<RateSample> samples = measureInterleaved(points, kReps);
     const RateSample& plain = samples[0];
@@ -488,6 +547,8 @@ writeSimspeedJson(const std::string& path)
     const RateSample& idle_off = samples[5];
     const RateSample& busy_on = samples[6];
     const RateSample& busy_off = samples[7];
+    const RateSample& serve_plain = samples[8];
+    const RateSample& serve_traced = samples[9];
 
     auto mode_json = [](std::ostream& os, const char* name,
                         const RateSample& s, bool last) {
@@ -518,12 +579,16 @@ writeSimspeedJson(const std::string& path)
         mode_json(os, "plain", plain, false);
         mode_json(os, "observed", observed, false);
         mode_json(os, "profiled", profiled, false);
-        mode_json(os, "memprofiled", mem_profiled, true);
+        mode_json(os, "memprofiled", mem_profiled, false);
+        mode_json(os, "serve_plain", serve_plain, false);
+        mode_json(os, "servetraced", serve_traced, true);
         os << "  },\n  \"relative_rate\": {\"observed_vs_plain\": "
            << jsonNumber(ratio(observed)) << ", \"profiled_vs_plain\": "
            << jsonNumber(ratio(profiled))
            << ", \"memprofiled_vs_plain\": "
-           << jsonNumber(ratio(mem_profiled)) << "},\n"
+           << jsonNumber(ratio(mem_profiled))
+           << ", \"servetraced_vs_plain\": "
+           << jsonNumber(pairedRatio(serve_traced, serve_plain)) << "},\n"
            << "  \"fast_forward\": {\n";
         ff_json(os, "idle_heavy", idle_on, idle_off, false);
         ff_json(os, "busy", busy_on, busy_off, true);
@@ -583,11 +648,17 @@ int
 main(int argc, char** argv)
 {
     std::string emit_json;
-    const unsigned jobs =
-        bsched::resolveJobs(extractJobsArg(argc, argv, emit_json));
+    std::string serve_trace;
+    const unsigned jobs = bsched::resolveJobs(
+        extractJobsArg(argc, argv, emit_json, serve_trace));
     harnessSelfCheck(jobs);
     if (!emit_json.empty())
         writeSimspeedJson(emit_json);
+    if (!serve_trace.empty()) {
+        bsched::bench::BenchOptions serve_opts;
+        serve_opts.serveTracePath = serve_trace;
+        bsched::bench::writeServeTraceArtifact(serve_opts);
+    }
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

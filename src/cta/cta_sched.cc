@@ -158,6 +158,8 @@ CtaScheduler::dispatch(Cycle now, KernelInstance& kernel, SimtCore& core,
                  "cta scheduler: dispatched a CTA of draining kernel ",
                  kernel.id);
     core.launchCta(now, *kernel.info, kernel.id, kernel.nextCta, block_seq);
+    if (kernel.firstDispatchCycle == kCycleNever)
+        kernel.firstDispatchCycle = now;
     ++kernel.nextCta;
     ++dispatches_;
     // Dispatch conservation for this kernel: retired + in-flight (over

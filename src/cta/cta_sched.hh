@@ -30,6 +30,9 @@ struct KernelInstance
     std::uint32_t ctasDone = 0;
     Cycle launchCycle = 0;
     Cycle doneCycle = kCycleNever;
+    /** Cycle the first CTA was dispatched to a core (kCycleNever until
+     *  then) — the admitted→dispatching boundary in serving spans. */
+    Cycle firstDispatchCycle = kCycleNever;
     /** Core range this kernel may use (spatial partitioning); end
      *  exclusive, -1 = all cores. */
     int coreBegin = 0;

@@ -88,7 +88,23 @@ Gpu::requestDrain(int kernel_id, bool draining)
 {
     if (kernel_id < 0 || kernel_id >= static_cast<int>(kernels_.size()))
         fatal("requestDrain: bad kernel id ", kernel_id);
+    const bool was_draining = ctaSched_->isDraining(kernel_id);
     ctaSched_->setDraining(kernel_id, draining);
+    if (draining && !was_draining) {
+        if (kernelResidentCtas(kernel_id) == 0) {
+            // Nothing in flight: the drain completes the moment it is
+            // requested.
+            noteDrainComplete(kernel_id, cycle_, 0);
+        } else {
+            drainStart_.emplace(kernel_id, cycle_);
+        }
+    } else if (!draining) {
+        // Only an *in-progress* drain counts as cancelled: if residency
+        // already hit zero the drain completed and this merely clears
+        // the flag.
+        if (drainStart_.erase(kernel_id) != 0)
+            ++drainCancels_;
+    }
     if (obs_.tracer != nullptr) {
         TraceEvent event;
         event.cycle = cycle_;
@@ -104,6 +120,34 @@ bool
 Gpu::kernelDraining(int kernel_id) const
 {
     return ctaSched_->isDraining(kernel_id);
+}
+
+std::uint32_t
+Gpu::kernelResidentCtas(int kernel_id) const
+{
+    std::uint32_t resident = 0;
+    for (const auto& core : cores_)
+        resident += core->residentCtas(kernel_id);
+    return resident;
+}
+
+void
+Gpu::noteDrainComplete(int kernel_id, Cycle now, Cycle latency)
+{
+    ++drainsCompleted_;
+    drainLatencyCycles_ += latency;
+    if (obs_.tracer != nullptr) {
+        const KernelInstance& kernel =
+            kernels_.at(static_cast<std::size_t>(kernel_id));
+        TraceEvent event;
+        event.cycle = now;
+        event.duration = latency;
+        event.kind = TraceEventKind::DrainComplete;
+        event.kernelId = kernel_id;
+        event.arg0 = static_cast<std::int64_t>(kernel.info->gridCtas() -
+                                               kernel.nextCta);
+        obs_.tracer->record(obs_.tracer->gpuTrack(), event);
+    }
 }
 
 bool
@@ -220,6 +264,17 @@ Gpu::stepCycle()
                 }
             }
             ctaSched_->notifyCtaDone(now, event, cores_);
+            // Drain-latency endpoint: the victim's last in-flight CTA
+            // just retired.
+            if (!drainStart_.empty()) {
+                const auto ds = drainStart_.find(event.kernelId);
+                if (ds != drainStart_.end() &&
+                    kernelResidentCtas(event.kernelId) == 0) {
+                    noteDrainComplete(event.kernelId, now,
+                                      now - ds->second);
+                    drainStart_.erase(ds);
+                }
+            }
         }
     }
 
@@ -328,6 +383,12 @@ Gpu::run()
         stepCycle();
     // A closing sample ties off every series at the final cycle so that
     // cumulative counters end exactly at the StatSet totals.
+    finalizeSample();
+}
+
+void
+Gpu::finalizeSample()
+{
     if (obs_.sampler != nullptr &&
         (obs_.sampler->cycles().empty() ||
          obs_.sampler->cycles().back() != cycle_)) {
@@ -402,6 +463,11 @@ Gpu::collectSample(Cycle now)
              SeriesKind::Counter);
     s.record("dram.row_conflict", static_cast<double>(row_conflict),
              SeriesKind::Counter);
+
+    // External series (e.g. serving-engine gauges) land on the same
+    // fenced sample cycle as the built-in ones.
+    if (obs_.sampleSource != nullptr)
+        obs_.sampleSource->recordSample(s, now);
 }
 
 const KernelInstance&

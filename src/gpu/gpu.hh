@@ -8,6 +8,7 @@
 #define BSCHED_GPU_GPU_HH
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -53,6 +54,16 @@ class Gpu
     /** Run to completion of all launched kernels. */
     void run();
 
+    /**
+     * Take the closing sample if the attached sampler has not already
+     * sampled the current cycle: ties every series off at the final
+     * cycle so cumulative counters end exactly at the StatSet totals.
+     * run() calls this itself; external drivers (the serving engine)
+     * call it once after their own event loop ends. No-op without a
+     * sampler.
+     */
+    void finalizeSample();
+
     Cycle cycle() const { return cycle_; }
 
     /** True once every launched kernel has finished. */
@@ -69,6 +80,23 @@ class Gpu
 
     /** True while @p kernel_id is being drained. */
     bool kernelDraining(int kernel_id) const;
+
+    /** CTAs of @p kernel_id currently resident, summed over cores. */
+    std::uint32_t kernelResidentCtas(int kernel_id) const;
+
+    /** Drains that reached zero residency (drain-preemption cost). */
+    std::uint64_t drainsCompleted() const { return drainsCompleted_; }
+
+    /** Drains lifted while the victim still had CTAs resident — the
+     *  preemptor finished first, so the drain never reached zero. */
+    std::uint64_t drainCancels() const { return drainCancels_; }
+
+    /**
+     * Total cycles from each requestDrain(true) to the retirement of
+     * the victim's last in-flight CTA, summed over completed drains —
+     * the latency bound on how fast CTA-drain preemption frees space.
+     */
+    std::uint64_t drainLatencyCycles() const { return drainLatencyCycles_; }
 
     /**
      * Bound for idle fast-forward jumps: an external agent (the serving
@@ -138,6 +166,9 @@ class Gpu
     /** Snapshot the sampled counter set into the interval sampler. */
     void collectSample(Cycle now);
 
+    /** Account a drain that reached zero residency at @p now. */
+    void noteDrainComplete(int kernel_id, Cycle now, Cycle latency);
+
     Observer obs_;
     GpuConfig config_;
     CoreList cores_;
@@ -148,6 +179,12 @@ class Gpu
     Cycle cycle_ = 0;
     std::uint64_t elided_ = 0; ///< cycles skipped by fastForward()
     Cycle externalEvent_ = kCycleNever; ///< fast-forward fence
+
+    // Drain-latency accounting (CTA-drain preemption cost).
+    std::map<int, Cycle> drainStart_; ///< in-flight drains, by kernel id
+    std::uint64_t drainsCompleted_ = 0;
+    std::uint64_t drainCancels_ = 0;
+    std::uint64_t drainLatencyCycles_ = 0;
 
     // Interval-IPC bookkeeping for the sampler.
     Cycle lastSampleCycle_ = 0;

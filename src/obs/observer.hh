@@ -9,12 +9,27 @@
 #ifndef BSCHED_OBS_OBSERVER_HH
 #define BSCHED_OBS_OBSERVER_HH
 
+#include "sim/types.hh"
+
 namespace bsched {
 
 class Tracer;
 class IntervalSampler;
 class CycleProfiler;
 class MemProfiler;
+
+/**
+ * Extra per-interval series provider. A layer sitting *above* the Gpu
+ * (e.g. the serving engine) implements this to append its own gauges to
+ * every sample the Gpu's IntervalSampler takes, so external series land
+ * on exactly the same fenced cycles as the built-in ones.
+ */
+class SampleSource
+{
+  public:
+    virtual ~SampleSource() = default;
+    virtual void recordSample(IntervalSampler& sampler, Cycle now) = 0;
+};
 
 /** Non-owning observability hooks handed to Gpu at construction. */
 struct Observer
@@ -23,6 +38,7 @@ struct Observer
     IntervalSampler* sampler = nullptr;
     CycleProfiler* profiler = nullptr;
     MemProfiler* memProfiler = nullptr;
+    SampleSource* sampleSource = nullptr;
 
     bool enabled() const
     {

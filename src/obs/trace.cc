@@ -33,6 +33,18 @@ toString(TraceEventKind kind)
         return "dram.row_conflict";
       case TraceEventKind::DrainRequest:
         return "serve.drain";
+      case TraceEventKind::DrainComplete:
+        return "serve.drain_complete";
+      case TraceEventKind::ServeArrival:
+        return "serve.arrival";
+      case TraceEventKind::ServeQueued:
+        return "serve.queued";
+      case TraceEventKind::ServeDispatching:
+        return "serve.dispatching";
+      case TraceEventKind::ServeRunning:
+        return "serve.running";
+      case TraceEventKind::ServeDrainVictim:
+        return "serve.drain_victim";
     }
     panic("unknown TraceEventKind");
 }
@@ -45,9 +57,19 @@ Tracer::Tracer(std::uint32_t num_cores, std::uint32_t num_partitions,
 {
     if (capacity_ == 0)
         fatal("tracer: ring capacity must be > 0");
-    tracks_.resize(numTracks());
+    tracks_.resize(gpuTrack() + 1);
     for (Ring& ring : tracks_)
         ring.buf.resize(capacity_);
+}
+
+std::uint32_t
+Tracer::addTrack(const std::string& name)
+{
+    const auto track = static_cast<std::uint32_t>(tracks_.size());
+    tracks_.emplace_back();
+    tracks_.back().buf.resize(capacity_);
+    extraNames_.push_back(name);
+    return track;
 }
 
 std::string
@@ -57,7 +79,9 @@ Tracer::trackName(std::uint32_t track) const
         return "core" + std::to_string(track);
     if (track < numCores_ + numPartitions_)
         return "part" + std::to_string(track - numCores_);
-    return "gpu";
+    if (track == gpuTrack())
+        return "gpu";
+    return extraNames_.at(track - gpuTrack() - 1);
 }
 
 void
@@ -100,15 +124,18 @@ Tracer::eventsOfKind(TraceEventKind kind) const
     return out;
 }
 
-namespace {
-
-/** True for kinds exported as duration ("X") events. */
 bool
 isSpan(TraceEventKind kind)
 {
     return kind == TraceEventKind::CtaComplete ||
-        kind == TraceEventKind::KernelRetire;
+        kind == TraceEventKind::KernelRetire ||
+        kind == TraceEventKind::DrainComplete ||
+        kind == TraceEventKind::ServeQueued ||
+        kind == TraceEventKind::ServeDispatching ||
+        kind == TraceEventKind::ServeRunning;
 }
+
+namespace {
 
 void
 writeEventJson(std::ostream& os, const TraceEvent& event,

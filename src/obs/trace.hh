@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
@@ -41,10 +42,19 @@ enum class TraceEventKind : std::uint8_t
     CacheMissBurst,  ///< core/partition track; arg0 = burst length
     DramRowConflict, ///< partition track; arg0 = bank, arg1 = new row
     DrainRequest,    ///< gpu track; arg0 = 1 drain/0 resume, arg1 = cursor
+    DrainComplete,   ///< gpu track; span over the drain; arg0 = CTAs left
+    ServeArrival,    ///< tenant track; arg0 = request seq
+    ServeQueued,     ///< tenant track; span release→admit; arg0 = seq
+    ServeDispatching,///< tenant track; span admit→1st CTA; arg0 = seq
+    ServeRunning,    ///< tenant track; span 1st CTA→finish; arg0 = seq
+    ServeDrainVictim,///< tenant track; arg0 = victim kernel id
 };
 
 /** Stable event-kind name used in exported JSON ("cta.dispatch", ...). */
 const char* toString(TraceEventKind kind);
+
+/** True for kinds exported as Chrome duration ("X") events. */
+bool isSpan(TraceEventKind kind);
 
 /** One fixed-size trace record. */
 struct TraceEvent
@@ -74,9 +84,18 @@ class Tracer
         return numCores_ + partition;
     }
     std::uint32_t gpuTrack() const { return numCores_ + numPartitions_; }
-    std::uint32_t numTracks() const { return gpuTrack() + 1; }
+    std::uint32_t numTracks() const
+    {
+        return static_cast<std::uint32_t>(tracks_.size());
+    }
 
-    /** Human-readable track name ("core3", "part0", "gpu"). */
+    /**
+     * Append a named track (e.g. one lane per serving tenant) after the
+     * fixed core/partition/gpu tracks. Returns the new track id.
+     */
+    std::uint32_t addTrack(const std::string& name);
+
+    /** Human-readable track name ("core3", "part0", "gpu", extras). */
     std::string trackName(std::uint32_t track) const;
 
     // --- recording -----------------------------------------------------
@@ -117,6 +136,7 @@ class Tracer
     std::uint32_t numPartitions_;
     std::size_t capacity_;
     std::vector<Ring> tracks_;
+    std::vector<std::string> extraNames_; ///< names of addTrack() tracks
     std::uint64_t recorded_ = 0;
     std::uint64_t dropped_ = 0;
 };

@@ -6,6 +6,9 @@
 #include "cta/lazy_cta_sched.hh"
 #include "gpu/gpu.hh"
 #include "kernel/occupancy.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
+#include "serve/serve_trace.hh"
 #include "sim/check.hh"
 #include "sim/log.hh"
 #include "workloads/suite.hh"
@@ -108,8 +111,16 @@ ServingEngine::releaseArrivals(Cycle now)
     bool any = false;
     while (!pending_.empty() &&
            outcomes_[pending_.front()].release <= now) {
-        ready_.push_back(pending_.front());
+        const std::size_t idx = pending_.front();
+        ready_.push_back(idx);
         pending_.erase(pending_.begin());
+        const RequestOutcome& outcome = outcomes_[idx];
+        // The lifecycle lane stamps the *release* cycle, not the cycle
+        // the engine observed it — identical with fast-forward on/off.
+        emitServeEvent(outcome.req.tenant, TraceEventKind::ServeArrival,
+                       outcome.release, 0,
+                       static_cast<std::int64_t>(outcome.req.seq), 0,
+                       kInvalidId);
         any = true;
     }
     return any;
@@ -129,17 +140,60 @@ ServingEngine::collectCompletions(Gpu& gpu, Cycle now)
         any = true;
         RequestOutcome& outcome = outcomes_[active.outcome];
         outcome.finish = kernel.doneCycle;
+        outcome.firstDispatch = kernel.firstDispatchCycle;
         BSCHED_CHECK(outcome.finish >= outcome.admit,
                      "serve: kernel ", active.kernelId,
                      " finished before it was admitted");
-        predictor_.recordCompletion(outcome.req.workload,
-                                    outcome.finish - outcome.admit);
+        const Cycle actual = outcome.finish - outcome.admit;
+        predictor_.recordCompletion(outcome.req.workload, actual);
+        if (trace_ != nullptr) {
+            trace_->accuracy.record(outcome.req.workload,
+                                    outcome.predictedTotal, actual);
+        }
+        if (outcome.firstDispatch != kCycleNever) {
+            emitServeEvent(outcome.req.tenant,
+                           TraceEventKind::ServeDispatching,
+                           outcome.firstDispatch,
+                           outcome.firstDispatch - outcome.admit,
+                           static_cast<std::int64_t>(outcome.req.seq), 0,
+                           outcome.kernelId);
+            emitServeEvent(outcome.req.tenant,
+                           TraceEventKind::ServeRunning, outcome.finish,
+                           outcome.finish - outcome.firstDispatch,
+                           static_cast<std::int64_t>(outcome.req.seq), 0,
+                           outcome.kernelId);
+        }
 
         // A finished preemptor gives the machine back: lift the drain
         // on every victim still running.
         for (const int victim : active.victims) {
             if (!gpu.kernel(victim).finished() &&
                 gpu.kernelDraining(victim)) {
+                // Audit only true cancels — drains lifted while the
+                // victim still holds CTAs. A drain that already hit
+                // zero residency completed; lifting the flag then is
+                // bookkeeping, not a decision.
+                if (trace_ != nullptr &&
+                    gpu.kernelResidentCtas(victim) > 0) {
+                    ServeDecision decision;
+                    decision.cycle = now;
+                    decision.kind = ServeDecisionKind::DrainCancel;
+                    decision.queueDepth = ready_.size();
+                    decision.running = active_.size();
+                    decision.victim = victim;
+                    decision.reason = "preemptor_finished";
+                    for (const Active& other : active_) {
+                        if (other.kernelId != victim)
+                            continue;
+                        const RequestOutcome& vout =
+                            outcomes_[other.outcome];
+                        decision.seq = vout.req.seq;
+                        decision.tenant = vout.req.tenant;
+                        decision.workload = vout.req.workload;
+                        break;
+                    }
+                    trace_->audit.record(decision);
+                }
                 gpu.requestDrain(victim, false);
             }
         }
@@ -310,6 +364,23 @@ ServingEngine::launch(Gpu& gpu, Cycle now, std::size_t ready_pos,
     RequestOutcome& outcome = outcomes_[idx];
     const KernelInfo& info = pool_.at(outcome.req.workload);
 
+    // Snapshot the prediction the admission decision was based on; the
+    // accuracy tracker compares it against the realized runtime.
+    outcome.predictedTotal = predictTotalFor(outcome);
+
+    // Audit before the queue mutates: the decision inputs index ready_.
+    // The preemptor path is audited as one Preempt decision by
+    // tryPreempt, which also knows the victim.
+    if (trace_ != nullptr && !preemptor) {
+        ServeDecision decision;
+        fillDecisionInputs(gpu, now, ready_pos, decision);
+        decision.kind = ServeDecisionKind::Admit;
+        decision.reordered = ready_pos != 0;
+        decision.reason = decision.urgent ? "deadline_urgent"
+                                          : "admitted";
+        trace_->audit.record(decision);
+    }
+
     int core_begin = 0;
     int core_end = -1;
     if (cfg_.policy == ServePolicy::Spatial) {
@@ -343,6 +414,11 @@ ServingEngine::launch(Gpu& gpu, Cycle now, std::size_t ready_pos,
     }
     ++admitSeq_;
     outcome.admit = now;
+    // The queued phase of the lifecycle closes at admission.
+    emitServeEvent(outcome.req.tenant, TraceEventKind::ServeQueued, now,
+                   now - outcome.release,
+                   static_cast<std::int64_t>(outcome.req.seq), 0,
+                   outcome.kernelId);
 
     Active active;
     active.outcome = idx;
@@ -364,21 +440,27 @@ ServingEngine::tryAdmit(Gpu& gpu, Cycle now)
 
     switch (cfg_.policy) {
       case ServePolicy::Sequential:
-        if (!active_.empty())
+        if (!active_.empty()) {
+            auditDefer(gpu, now, "previous_running");
             return false;
+        }
         break;
       case ServePolicy::Spatial: {
         const bool free_way = std::any_of(
             wayBusy_.begin(), wayBusy_.end(), [](char b) { return !b; });
-        if (!free_way)
+        if (!free_way) {
+            auditDefer(gpu, now, "no_free_way");
             return false;
+        }
         break;
       }
       case ServePolicy::Fcfs:
       case ServePolicy::Reorder:
       case ServePolicy::ReorderPreempt:
-        if (active_.size() >= cfg_.maxConcurrent)
+        if (active_.size() >= cfg_.maxConcurrent) {
+            auditDefer(gpu, now, "concurrency_cap");
             return false;
+        }
         // LCS-headroom admission: only co-schedule when the residents'
         // decided limits leave enough CTA slots for a newcomer. While
         // a resident is still in its monitoring phase it claims its
@@ -386,6 +468,7 @@ ServingEngine::tryAdmit(Gpu& gpu, Cycle now)
         if (!active_.empty() &&
             headroomSlots(gpu) < cfg_.admitHeadroomSlots) {
             ++headroomDenials_;
+            auditDefer(gpu, now, "headroom");
             return false;
         }
         break;
@@ -450,9 +533,123 @@ ServingEngine::tryPreempt(Gpu& gpu, Cycle now)
     if (victim_remaining <= predictTotalFor(outcomes_[ready_[best]]))
         return;
 
+    if (trace_ != nullptr) {
+        ServeDecision decision;
+        fillDecisionInputs(gpu, now, best, decision);
+        decision.kind = ServeDecisionKind::Preempt;
+        decision.reason = "deadline_urgent";
+        decision.victim = victim;
+        decision.victimPredictedRemaining = victim_remaining;
+        trace_->audit.record(decision);
+    }
+    if (obs_.tracer != nullptr) {
+        // Mark the preemption on the *victim's* lane too.
+        for (const Active& active : active_) {
+            if (active.kernelId != victim)
+                continue;
+            const RequestOutcome& vout = outcomes_[active.outcome];
+            emitServeEvent(vout.req.tenant,
+                           TraceEventKind::ServeDrainVictim, now, 0,
+                           victim,
+                           static_cast<std::int64_t>(vout.req.seq),
+                           victim);
+            break;
+        }
+    }
     gpu.requestDrain(victim, true);
     ++preemptions_;
     launch(gpu, now, best, true, {victim});
+}
+
+std::uint32_t
+ServingEngine::tenantTrack(int tenant) const
+{
+    const auto it = tenantTrack_.find(tenant);
+    if (it == tenantTrack_.end())
+        fatal("serve: no tracer lane for tenant ", tenant);
+    return it->second;
+}
+
+void
+ServingEngine::emitServeEvent(int tenant, TraceEventKind kind,
+                              Cycle cycle, Cycle duration,
+                              std::int64_t arg0, std::int64_t arg1,
+                              int kernel_id) const
+{
+    if (obs_.tracer == nullptr)
+        return;
+    TraceEvent event;
+    event.cycle = cycle;
+    event.duration = duration;
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    event.kernelId = kernel_id;
+    event.kind = kind;
+    obs_.tracer->record(tenantTrack(tenant), event);
+}
+
+void
+ServingEngine::fillDecisionInputs(const Gpu& gpu, Cycle now,
+                                  std::size_t ready_pos,
+                                  ServeDecision& decision) const
+{
+    const RequestOutcome& outcome = outcomes_[ready_[ready_pos]];
+    decision.cycle = now;
+    decision.seq = outcome.req.seq;
+    decision.tenant = outcome.req.tenant;
+    decision.workload = outcome.req.workload;
+    decision.queueDepth = ready_.size();
+    decision.running = active_.size();
+    decision.headroomSlots = headroomSlots(gpu);
+    decision.predictedTotal = predictTotalFor(outcome);
+    decision.deadline = outcome.deadline;
+    decision.urgent = urgent(ready_pos, now);
+}
+
+void
+ServingEngine::auditDefer(const Gpu& gpu, Cycle now, const char* reason)
+{
+    if (trace_ == nullptr)
+        return;
+    // Attribute the deferral to the request the policy would have
+    // admitted next (pickNext is const — pure observation).
+    ServeDecision decision;
+    fillDecisionInputs(gpu, now, pickNext(gpu, now), decision);
+    decision.kind = ServeDecisionKind::Defer;
+    decision.reason = reason;
+    trace_->audit.record(decision);
+}
+
+void
+ServingEngine::recordSample(IntervalSampler& sampler, Cycle now)
+{
+    (void)now;
+    if (gpu_ == nullptr)
+        return; // no Gpu in flight: nothing to observe
+    std::uint64_t running = 0;
+    std::uint64_t draining = 0;
+    for (const Active& active : active_) {
+        if (gpu_->kernel(active.kernelId).finished())
+            continue;
+        ++running;
+        if (gpu_->kernelDraining(active.kernelId))
+            ++draining;
+    }
+    std::uint64_t occupied = 0;
+    for (const auto& core : gpu_->cores())
+        occupied += core->residentCtas();
+    sampler.record("serve.queue_depth",
+                   static_cast<double>(ready_.size()),
+                   SeriesKind::Gauge);
+    sampler.record("serve.running_kernels",
+                   static_cast<double>(running), SeriesKind::Gauge);
+    sampler.record("serve.occupied_cta_slots",
+                   static_cast<double>(occupied), SeriesKind::Gauge);
+    sampler.record("serve.headroom_slots",
+                   static_cast<double>(headroomSlots(*gpu_)),
+                   SeriesKind::Gauge);
+    sampler.record("serve.drains_in_flight",
+                   static_cast<double>(draining), SeriesKind::Gauge);
 }
 
 void
@@ -482,7 +679,28 @@ ServingEngine::run(const std::vector<LaunchRequest>& trace)
 
     ingest(trace);
 
-    Gpu gpu(gpuConfig_);
+    // One tracer lane per tenant for the request lifecycle spans,
+    // created in tenant order (deterministic track ids).
+    if (obs_.tracer != nullptr) {
+        std::map<int, char> tenants;
+        for (const RequestOutcome& outcome : outcomes_)
+            tenants[outcome.req.tenant] = 1;
+        for (const auto& [tenant, present] : tenants) {
+            (void)present;
+            tenantTrack_[tenant] = obs_.tracer->addTrack(
+                "tenant" + std::to_string(tenant));
+        }
+    }
+
+    // Hand the observer through to the Gpu; when a sampler is attached
+    // the engine rides along as a SampleSource so the serving gauges
+    // land on the same fenced sample cycles as the machine counters.
+    Observer obs = obs_;
+    if (obs.sampler != nullptr)
+        obs.sampleSource = this;
+
+    Gpu gpu(gpuConfig_, obs);
+    gpu_ = &gpu;
     std::size_t remaining = outcomes_.size();
     while (remaining > 0) {
         const Cycle now = gpu.cycle();
@@ -510,9 +728,17 @@ ServingEngine::run(const std::vector<LaunchRequest>& trace)
         gpu.stepCycle();
     }
 
+    // Close out the sampler at the final cycle (run() isn't used here,
+    // so the engine takes the closing sample itself).
+    gpu.finalizeSample();
+
     ServingRunResult result;
     result.preemptions = preemptions_;
     result.reorders = reorders_;
+    result.drainRequests = gpu.ctaScheduler().drainRequests();
+    result.drainCancels = gpu.drainCancels();
+    result.drainsCompleted = gpu.drainsCompleted();
+    result.drainLatencyCycles = gpu.drainLatencyCycles();
     Cycle last = 0;
     for (const RequestOutcome& outcome : outcomes_) {
         BSCHED_CHECK(outcome.finish != kCycleNever,
@@ -529,9 +755,15 @@ ServingEngine::run(const std::vector<LaunchRequest>& trace)
     result.stats.set("serve.headroom_denials",
                      static_cast<double>(headroomDenials_));
     result.stats.set("serve.drain_requests",
-                     static_cast<double>(
-                         gpu.ctaScheduler().drainRequests()));
+                     static_cast<double>(result.drainRequests));
+    result.stats.set("serve.drain_cancels",
+                     static_cast<double>(result.drainCancels));
+    result.stats.set("serve.drains_completed",
+                     static_cast<double>(result.drainsCompleted));
+    result.stats.set("serve.drain_latency_cycles",
+                     static_cast<double>(result.drainLatencyCycles));
     result.outcomes = std::move(outcomes_);
+    gpu_ = nullptr;
     return result;
 }
 

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "kernel/kernel_info.hh"
+#include "obs/observer.hh"
 #include "serve/predictor.hh"
 #include "serve/request.hh"
 #include "sim/config.hh"
@@ -38,6 +39,9 @@
 namespace bsched {
 
 class Gpu;
+struct ServeTrace;
+struct ServeDecision;
+enum class TraceEventKind : std::uint8_t;
 
 /** How queued launches are admitted and scheduled. */
 enum class ServePolicy : std::uint8_t
@@ -95,6 +99,13 @@ struct ServingRunResult
     Cycle totalCycles = 0;        ///< last completion cycle
     std::uint64_t preemptions = 0; ///< drain-preemptions triggered
     std::uint64_t reorders = 0;    ///< admissions out of arrival order
+
+    // Drain-preemption cost (CTA-drain mechanics, from the GPU).
+    std::uint64_t drainRequests = 0;  ///< drains requested
+    std::uint64_t drainCancels = 0;   ///< drains lifted before zero
+    std::uint64_t drainsCompleted = 0; ///< drains that reached zero
+    std::uint64_t drainLatencyCycles = 0; ///< request -> last CTA retired
+
     StatSet stats;                 ///< engine-level counters
 };
 
@@ -104,13 +115,33 @@ struct ServingRunResult
  * outlive the Gpu), the runtime predictor, and all queue state; run()
  * may be called once per instance.
  */
-class ServingEngine
+class ServingEngine : public SampleSource
 {
   public:
     ServingEngine(const GpuConfig& gpu_config, const ServeConfig& serve);
 
     /** Serve @p trace to completion and report per-request outcomes. */
     ServingRunResult run(const std::vector<LaunchRequest>& trace);
+
+    /**
+     * Attach the decision audit + predictor-accuracy bundle (may be
+     * null). Pure observation: the engine only writes into it, never
+     * reads, so attaching cannot change a schedule.
+     */
+    void setTrace(ServeTrace* trace) { trace_ = trace; }
+
+    /**
+     * Attach observability hooks for the Gpu built inside run().
+     * A tracer gains one extra lane per tenant carrying the request
+     * lifecycle spans (arrival -> queued -> dispatching -> running);
+     * a sampler additionally receives the serving gauges (queue depth,
+     * running kernels, occupied CTA slots, headroom, drains in flight)
+     * on every fenced sample cycle.
+     */
+    void setObserver(const Observer& obs) { obs_ = obs; }
+
+    /** SampleSource: append the serving gauges to a Gpu sample. */
+    void recordSample(IntervalSampler& sampler, Cycle now) override;
 
   private:
     /** A request admitted to the GPU and not yet finished. */
@@ -149,6 +180,24 @@ class ServingEngine
     void launch(Gpu& gpu, Cycle now, std::size_t ready_pos,
                 bool preemptor, std::vector<int> victims);
 
+    // --- observability (pure observation; never read back) --------------
+
+    /** Fill the shared decision-input fields for @p ready_pos. */
+    void fillDecisionInputs(const Gpu& gpu, Cycle now,
+                            std::size_t ready_pos,
+                            ServeDecision& decision) const;
+
+    /** Audit one denied admission for the would-be candidate. */
+    void auditDefer(const Gpu& gpu, Cycle now, const char* reason);
+
+    /** Tracer lane of @p tenant (fatal if lanes were not created). */
+    std::uint32_t tenantTrack(int tenant) const;
+
+    /** Emit a lifecycle event on @p tenant's lane (no-op sans tracer). */
+    void emitServeEvent(int tenant, TraceEventKind kind, Cycle cycle,
+                        Cycle duration, std::int64_t arg0,
+                        std::int64_t arg1, int kernel_id) const;
+
     GpuConfig gpuConfig_;
     ServeConfig cfg_;
 
@@ -173,6 +222,12 @@ class ServingEngine
     std::vector<char> wayBusy_;
     std::map<int, std::uint32_t> wayOf_; ///< kernelId -> way
     bool ran_ = false;
+
+    // --- observability state --------------------------------------------
+    ServeTrace* trace_ = nullptr;  ///< decision audit bundle (optional)
+    Observer obs_;                 ///< hooks for the Gpu built in run()
+    Gpu* gpu_ = nullptr;           ///< valid only inside run()
+    std::map<int, std::uint32_t> tenantTrack_; ///< tenant -> tracer lane
 };
 
 } // namespace bsched

@@ -54,4 +54,38 @@ RuntimePredictor::recordCompletion(const std::string& workload,
     ++completions_;
 }
 
+void
+PredictorAccuracy::record(const std::string& workload, Cycle predicted,
+                          Cycle actual)
+{
+    if (actual == 0)
+        fatal("predictor accuracy: zero-cycle actual for ", workload);
+    Sample sample;
+    sample.predicted = predicted;
+    sample.actual = actual;
+    errorHist_.record(sample.absError());
+    byWorkload_[workload].push_back(sample);
+    ++samples_;
+    if (predicted > actual)
+        ++over_;
+    else if (predicted < actual)
+        ++under_;
+    else
+        ++exact_;
+}
+
+double
+PredictorAccuracy::meanAbsError() const
+{
+    return samples_ == 0 ? 0.0 : errorHist_.mean();
+}
+
+const std::vector<PredictorAccuracy::Sample>&
+PredictorAccuracy::workloadSeries(const std::string& workload) const
+{
+    static const std::vector<Sample> kEmpty;
+    const auto it = byWorkload_.find(workload);
+    return it == byWorkload_.end() ? kEmpty : it->second;
+}
+
 } // namespace bsched

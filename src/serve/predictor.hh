@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
+#include "obs/mem_profile.hh"
 #include "sim/types.hh"
 
 namespace bsched {
@@ -76,6 +78,74 @@ class RuntimePredictor
     double alpha_; ///< EWMA weight of the newest sample
     std::map<std::string, History> history_;
     std::uint64_t completions_ = 0;
+};
+
+/**
+ * Predicted-vs-actual accuracy tracker for the runtime predictor. Each
+ * completed launch contributes one (predicted, actual) pair: the
+ * absolute cycle error is binned into the shared power-of-two
+ * LatencyHistogram, and the per-workload sample series preserves order
+ * so EWMA convergence (error shrinking with each repeat launch of a
+ * workload) is directly visible. Pure observation — the predictor
+ * itself never reads this, so attaching it cannot change a schedule.
+ */
+class PredictorAccuracy
+{
+  public:
+    struct Sample
+    {
+        Cycle predicted = 0;
+        Cycle actual = 0;
+
+        /** Absolute prediction error in cycles. */
+        Cycle absError() const
+        {
+            return predicted > actual ? predicted - actual
+                                      : actual - predicted;
+        }
+
+        /** Signed relative error (predicted - actual) / actual. */
+        double relError() const
+        {
+            return (static_cast<double>(predicted) -
+                    static_cast<double>(actual)) /
+                static_cast<double>(actual);
+        }
+    };
+
+    /** Fold one completed launch into the tracker. */
+    void record(const std::string& workload, Cycle predicted,
+                Cycle actual);
+
+    std::uint64_t samples() const { return samples_; }
+    std::uint64_t overpredictions() const { return over_; }
+    std::uint64_t underpredictions() const { return under_; }
+    std::uint64_t exactPredictions() const { return exact_; }
+
+    /** Mean |predicted - actual| over all samples (0 when empty). */
+    double meanAbsError() const;
+
+    /** |predicted - actual| binned into power-of-two buckets. */
+    const LatencyHistogram& errorHistogram() const { return errorHist_; }
+
+    /** Samples of one workload in completion order (EWMA convergence
+     *  series); empty when the workload never completed. */
+    const std::vector<Sample>& workloadSeries(
+        const std::string& workload) const;
+
+    /** All per-workload series, keyed by workload name. */
+    const std::map<std::string, std::vector<Sample>>& byWorkload() const
+    {
+        return byWorkload_;
+    }
+
+  private:
+    LatencyHistogram errorHist_;
+    std::map<std::string, std::vector<Sample>> byWorkload_;
+    std::uint64_t samples_ = 0;
+    std::uint64_t over_ = 0;  ///< predicted > actual
+    std::uint64_t under_ = 0; ///< predicted < actual
+    std::uint64_t exact_ = 0;
 };
 
 } // namespace bsched

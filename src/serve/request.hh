@@ -60,6 +60,14 @@ struct RequestOutcome
     /** Cycle the kernel's last CTA completed; kCycleNever = never. */
     Cycle finish = kCycleNever;
 
+    /** Cycle the kernel's first CTA reached a core (admission ends the
+     *  queued phase, this ends the dispatching phase). */
+    Cycle firstDispatch = kCycleNever;
+
+    /** Predictor's total-runtime estimate captured at admission (the
+     *  accuracy tracker compares it against finish - admit). */
+    Cycle predictedTotal = 0;
+
     /** Absolute deadline (release + slack); kCycleNever = none. */
     Cycle deadline = kCycleNever;
 

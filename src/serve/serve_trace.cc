@@ -1,0 +1,191 @@
+#include "serve/serve_trace.hh"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/sink.hh"
+#include "sim/log.hh"
+
+namespace bsched {
+
+namespace {
+
+/** kCycleNever serializes as -1 (JSON has no "never" sentinel). */
+std::string
+cycleJson(Cycle cycle)
+{
+    return cycle == kCycleNever ? "-1" : std::to_string(cycle);
+}
+
+void
+writeDecisionJson(std::ostream& os, const ServeDecision& d)
+{
+    os << "{\"cycle\": " << d.cycle << ", \"kind\": \"" << toString(d.kind)
+       << "\", \"seq\": " << d.seq << ", \"tenant\": " << d.tenant
+       << ", \"workload\": \"" << jsonEscape(d.workload) << "\","
+       << " \"queue_depth\": " << d.queueDepth
+       << ", \"running\": " << d.running
+       << ", \"headroom_slots\": " << d.headroomSlots
+       << ", \"predicted_total\": " << d.predictedTotal
+       << ", \"deadline\": " << cycleJson(d.deadline)
+       << ", \"urgent\": " << (d.urgent ? "true" : "false")
+       << ", \"reordered\": " << (d.reordered ? "true" : "false")
+       << ", \"reason\": \"" << jsonEscape(d.reason) << "\""
+       << ", \"victim\": " << d.victim
+       << ", \"victim_predicted_remaining\": "
+       << d.victimPredictedRemaining << "}";
+}
+
+void
+writeRequestJson(std::ostream& os, const RequestOutcome& outcome)
+{
+    os << "{\"seq\": " << outcome.req.seq
+       << ", \"tenant\": " << outcome.req.tenant
+       << ", \"workload\": \"" << jsonEscape(outcome.req.workload)
+       << "\", \"release\": " << outcome.release
+       << ", \"admit\": " << cycleJson(outcome.admit)
+       << ", \"first_dispatch\": " << cycleJson(outcome.firstDispatch)
+       << ", \"finish\": " << cycleJson(outcome.finish)
+       << ", \"deadline\": " << cycleJson(outcome.deadline)
+       << ", \"predicted_total\": " << outcome.predictedTotal << "}";
+}
+
+void
+writePredictorJson(std::ostream& os, const PredictorAccuracy& accuracy)
+{
+    const LatencyHistogram& hist = accuracy.errorHistogram();
+    os << "{\"samples\": " << accuracy.samples()
+       << ", \"over\": " << accuracy.overpredictions()
+       << ", \"under\": " << accuracy.underpredictions()
+       << ", \"exact\": " << accuracy.exactPredictions()
+       << ",\n      \"mean_abs_error\": " << jsonNumber(hist.mean())
+       << ", \"error_min\": " << hist.min()
+       << ", \"error_max\": " << hist.max()
+       << ", \"error_sum\": " << hist.sum()
+       << ",\n      \"error_buckets\": [";
+    for (std::size_t i = 0; i < LatencyHistogram::kNumBuckets; ++i) {
+        if (i != 0)
+            os << ", ";
+        os << hist.bucket(i);
+    }
+    os << "],\n      \"series\": {";
+    bool first_series = true;
+    for (const auto& [workload, samples] : accuracy.byWorkload()) {
+        if (!first_series)
+            os << ",";
+        first_series = false;
+        os << "\n        \"" << jsonEscape(workload) << "\": [";
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            if (i != 0)
+                os << ", ";
+            os << "{\"predicted\": " << samples[i].predicted
+               << ", \"actual\": " << samples[i].actual << "}";
+        }
+        os << "]";
+    }
+    os << (first_series ? "" : "\n      ") << "}}";
+}
+
+} // namespace
+
+const char*
+toString(ServeDecisionKind kind)
+{
+    switch (kind) {
+      case ServeDecisionKind::Admit: return "admit";
+      case ServeDecisionKind::Defer: return "defer";
+      case ServeDecisionKind::Preempt: return "preempt";
+      case ServeDecisionKind::DrainCancel: return "drain_cancel";
+    }
+    panic("unknown ServeDecisionKind");
+}
+
+void
+ServeAudit::record(const ServeDecision& decision)
+{
+    decisions.push_back(decision);
+    switch (decision.kind) {
+      case ServeDecisionKind::Admit: ++admits; break;
+      case ServeDecisionKind::Defer: ++defers; break;
+      case ServeDecisionKind::Preempt: ++preempts; break;
+      case ServeDecisionKind::DrainCancel: ++drainCancels; break;
+    }
+}
+
+ServeTraceReport::ServeTraceReport(std::string bench_name)
+    : name_(std::move(bench_name))
+{
+    if (name_.empty())
+        fatal("ServeTraceReport: empty bench name");
+}
+
+void
+ServeTraceReport::addRun(const std::string& policy,
+                         const std::string& trace,
+                         const ServingRunResult& result,
+                         const ServeTrace& serve_trace)
+{
+    for (const Run& existing : runs_) {
+        if (existing.policy == policy && existing.trace == trace) {
+            fatal("ServeTraceReport: duplicate run ", policy, "/",
+                  trace);
+        }
+    }
+    Run run;
+    run.policy = policy;
+    run.trace = trace;
+    run.result = result;
+    run.serveTrace = serve_trace;
+    runs_.push_back(std::move(run));
+}
+
+void
+ServeTraceReport::writeJson(std::ostream& os) const
+{
+    os << "{\n  \"schema\": \"bsched-servetrace-v1\",\n";
+    os << "  \"bench\": \"" << jsonEscape(name_) << "\",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs_.size(); ++i) {
+        const Run& run = runs_[i];
+        const ServeAudit& audit = run.serveTrace.audit;
+        os << "    {\"policy\": \"" << jsonEscape(run.policy)
+           << "\", \"trace\": \"" << jsonEscape(run.trace) << "\",\n"
+           << "     \"requests\": " << run.result.outcomes.size()
+           << ", \"total_cycles\": " << run.result.totalCycles << ",\n"
+           << "     \"counts\": {\"admits\": " << audit.admits
+           << ", \"defers\": " << audit.defers
+           << ", \"preempts\": " << audit.preempts
+           << ", \"drain_cancels\": " << audit.drainCancels << "},\n"
+           << "     \"drain\": {\"requests\": " << run.result.drainRequests
+           << ", \"cancels\": " << run.result.drainCancels
+           << ", \"completed\": " << run.result.drainsCompleted
+           << ", \"latency_cycles\": " << run.result.drainLatencyCycles
+           << "},\n     \"decisions\": [";
+        for (std::size_t d = 0; d < audit.decisions.size(); ++d) {
+            os << (d == 0 ? "\n      " : ",\n      ");
+            writeDecisionJson(os, audit.decisions[d]);
+        }
+        os << (audit.decisions.empty() ? "" : "\n     ")
+           << "],\n     \"request_spans\": [";
+        for (std::size_t r = 0; r < run.result.outcomes.size(); ++r) {
+            os << (r == 0 ? "\n      " : ",\n      ");
+            writeRequestJson(os, run.result.outcomes[r]);
+        }
+        os << (run.result.outcomes.empty() ? "" : "\n     ")
+           << "],\n     \"predictor\": ";
+        writePredictorJson(os, run.serveTrace.accuracy);
+        os << "}";
+        os << (i + 1 < runs_.size() ? ",\n" : "\n");
+    }
+    os << "  ]\n}\n";
+}
+
+std::string
+ServeTraceReport::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+} // namespace bsched

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Serving-layer decision audit and the `bsched-servetrace-v1` artifact.
+ *
+ * A ServeTrace is an optional, purely observational bundle attached to
+ * a ServingEngine before run(): the engine records every admission,
+ * deferral, preemption and drain-cancel decision it takes — together
+ * with the inputs that drove it (queue depth, headroom slots, predicted
+ * runtimes, deadline urgency, chosen victim) — and feeds every
+ * completed launch's predicted-vs-actual runtime into a
+ * PredictorAccuracy tracker. Nothing in here is read back by the
+ * engine, so attaching a ServeTrace can never change a schedule; the
+ * artifact is therefore byte-identical for any --jobs count and with
+ * fast-forward on or off, the same contract the serving artifact is
+ * CI-gated on.
+ *
+ * ServeTraceReport serializes a set of (policy, trace) runs — audit
+ * log, per-request lifecycle timestamps and predictor error histograms
+ * — deterministically as the `bsched-servetrace-v1` JSON schema
+ * (committed baseline: bench/BENCH_servetrace.json).
+ */
+
+#ifndef BSCHED_SERVE_SERVE_TRACE_HH
+#define BSCHED_SERVE_SERVE_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/engine.hh"
+#include "serve/predictor.hh"
+#include "sim/types.hh"
+
+namespace bsched {
+
+/** What the serving engine decided at one decision point. */
+enum class ServeDecisionKind : std::uint8_t
+{
+    Admit,       ///< a ready request was launched on the GPU
+    Defer,       ///< admission was denied (see reason)
+    Preempt,     ///< a victim was drained and the urgent request launched
+    DrainCancel, ///< a victim's drain was lifted (preemptor finished)
+};
+
+/** Stable kind name used in the exported JSON. */
+const char* toString(ServeDecisionKind kind);
+
+/** One audited decision with the inputs that drove it. */
+struct ServeDecision
+{
+    Cycle cycle = 0;
+    ServeDecisionKind kind = ServeDecisionKind::Admit;
+
+    /** Subject request (Admit/Defer/Preempt: the candidate). */
+    std::uint64_t seq = 0;
+    int tenant = -1;
+    std::string workload;
+
+    // --- decision inputs ------------------------------------------------
+    std::uint64_t queueDepth = 0;   ///< ready requests at decision time
+    std::uint64_t running = 0;      ///< kernels in flight
+    std::uint64_t headroomSlots = 0; ///< free CTA slots after LCS claims
+    Cycle predictedTotal = 0;       ///< predicted runtime of the subject
+    Cycle deadline = kCycleNever;   ///< absolute deadline (never = none)
+    bool urgent = false;            ///< deadline-at-risk at this cycle
+    bool reordered = false;         ///< admitted out of arrival order
+
+    /** Why ("admitted", "previous_running", "no_free_way",
+     *  "concurrency_cap", "headroom", "deadline_urgent",
+     *  "preemptor_finished"). */
+    std::string reason;
+
+    // --- preemption inputs (Preempt/DrainCancel) ------------------------
+    int victim = kInvalidId;            ///< drained kernel id
+    Cycle victimPredictedRemaining = 0; ///< victim's predicted remainder
+};
+
+/** Append-only decision log with per-kind counts. */
+struct ServeAudit
+{
+    std::vector<ServeDecision> decisions;
+    std::uint64_t admits = 0;
+    std::uint64_t defers = 0;
+    std::uint64_t preempts = 0;
+    std::uint64_t drainCancels = 0;
+
+    void record(const ServeDecision& decision);
+};
+
+/**
+ * The bundle a caller attaches to a ServingEngine (setTrace) to audit
+ * one run. Plain data; copy it out of the engine's scope freely.
+ */
+struct ServeTrace
+{
+    ServeAudit audit;
+    PredictorAccuracy accuracy;
+};
+
+/**
+ * Accumulates audited runs and writes the `bsched-servetrace-v1`
+ * artifact. Runs serialize in insertion order; decisions, request
+ * lifecycles and predictor series are already deterministic, so the
+ * bytes are identical for any --jobs value and fast-forward setting.
+ */
+class ServeTraceReport
+{
+  public:
+    explicit ServeTraceReport(std::string bench_name);
+
+    /** Append one audited (policy, trace) run. */
+    void addRun(const std::string& policy, const std::string& trace,
+                const ServingRunResult& result,
+                const ServeTrace& serve_trace);
+
+    std::size_t runs() const { return runs_.size(); }
+
+    void writeJson(std::ostream& os) const;
+
+    /** writeJson to a string (tests, byte-identity checks). */
+    std::string toJson() const;
+
+  private:
+    struct Run
+    {
+        std::string policy;
+        std::string trace;
+        ServingRunResult result;
+        ServeTrace serveTrace;
+    };
+
+    std::string name_;
+    std::vector<Run> runs_;
+};
+
+} // namespace bsched
+
+#endif // BSCHED_SERVE_SERVE_TRACE_HH

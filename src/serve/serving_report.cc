@@ -24,6 +24,10 @@ summarizeServing(const std::string& policy, const std::string& trace,
     summary.requests = result.outcomes.size();
     summary.preemptions = result.preemptions;
     summary.reorders = result.reorders;
+    summary.drainRequests = result.drainRequests;
+    summary.drainCancels = result.drainCancels;
+    summary.drainsCompleted = result.drainsCompleted;
+    summary.drainLatencyCycles = result.drainLatencyCycles;
     summary.totalCycles = result.totalCycles;
 
     std::vector<double> latencies;
@@ -123,6 +127,11 @@ ServingReport::writeJson(std::ostream& os) const
            << ", \"preemptions\": " << run.preemptions
            << ", \"reorders\": " << run.reorders
            << ", \"total_cycles\": " << run.totalCycles << ",\n"
+           << "     \"drain_requests\": " << run.drainRequests
+           << ", \"drain_cancels\": " << run.drainCancels
+           << ", \"drains_completed\": " << run.drainsCompleted
+           << ", \"drain_latency_cycles\": " << run.drainLatencyCycles
+           << ",\n"
            << "     \"throughput_per_mcycle\": "
            << jsonNumber(run.throughput)
            << ", \"p50_latency\": " << jsonNumber(run.p50Latency)

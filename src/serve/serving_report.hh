@@ -34,6 +34,13 @@ struct ServingSummary
     std::uint64_t misses = 0;
     std::uint64_t preemptions = 0;
     std::uint64_t reorders = 0;
+
+    // Drain-preemption cost (CTA-drain mechanics).
+    std::uint64_t drainRequests = 0;
+    std::uint64_t drainCancels = 0;
+    std::uint64_t drainsCompleted = 0;
+    std::uint64_t drainLatencyCycles = 0;
+
     Cycle totalCycles = 0; ///< last completion
 
     /** Served kernels per million cycles. */

@@ -121,10 +121,16 @@ percentile(std::vector<double> values, double p)
     if (p == 0.0)
         return values.front();
     // Nearest-rank: the ceil(p/100 * N)-th smallest value (1-based).
+    // Multiply before dividing and shave an epsilon so exact-integer
+    // products don't land a hair above the true rank and ceil one rank
+    // too high (p99 of 100 samples is rank 99, but 99/100.0*100 rounds
+    // to 99.000000000000014).
     const auto n = static_cast<double>(values.size());
-    auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
-    if (rank == 0)
+    auto rank = static_cast<std::size_t>(std::ceil(p * n / 100.0 - 1e-9));
+    if (rank < 1)
         rank = 1;
+    if (rank > values.size())
+        rank = values.size();
     return values[rank - 1];
 }
 

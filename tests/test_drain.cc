@@ -16,6 +16,7 @@
 #include "cta/cta_sched.hh"
 #include "gpu/gpu.hh"
 #include "kernel/program_builder.hh"
+#include "obs/trace.hh"
 
 namespace bsched {
 namespace {
@@ -166,6 +167,80 @@ TEST(Drain, DrainingKernelStillRetiresAndFinishesIfGridDispatched)
     gpu.run();
     EXPECT_TRUE(gpu.kernel(id).finished());
     EXPECT_EQ(gpu.kernel(id).ctasDone, k.grid.x);
+}
+
+TEST(Drain, CompletionLatencyIsCounted)
+{
+    const KernelInfo k = kernel("victim");
+    Gpu gpu(cfg(CtaSchedKind::Lazy));
+    const int id = gpu.launchKernel(k);
+
+    stepUntil(gpu, [&] { return gpu.kernel(id).nextCta >= 8; });
+    EXPECT_EQ(gpu.drainsCompleted(), 0u);
+    gpu.requestDrain(id, true);
+    stepUntil(gpu, [&] { return residentOf(gpu, id) == 0; });
+
+    // The drain reached zero residency: one completion, with the
+    // request -> last-CTA-retired latency accumulated.
+    EXPECT_EQ(gpu.drainsCompleted(), 1u);
+    EXPECT_GT(gpu.drainLatencyCycles(), 0u);
+    EXPECT_EQ(gpu.drainCancels(), 0u);
+}
+
+TEST(Drain, CompletionEmitsGpuTrackSpan)
+{
+    const GpuConfig config = cfg(CtaSchedKind::Lazy);
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    Observer obs;
+    obs.tracer = &tracer;
+    const KernelInfo k = kernel("victim");
+    Gpu gpu(config, obs);
+    const int id = gpu.launchKernel(k);
+
+    stepUntil(gpu, [&] { return gpu.kernel(id).nextCta >= 8; });
+    gpu.requestDrain(id, true);
+    stepUntil(gpu, [&] { return residentOf(gpu, id) == 0; });
+
+    const auto spans = tracer.eventsOfKind(TraceEventKind::DrainComplete);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].kernelId, id);
+    EXPECT_EQ(spans[0].duration, gpu.drainLatencyCycles());
+    EXPECT_GT(spans[0].arg0, 0); // undispatched CTAs left behind
+}
+
+TEST(Drain, CancelBeforeZeroResidencyCounts)
+{
+    const KernelInfo k = kernel("victim");
+    Gpu gpu(cfg(CtaSchedKind::Lazy));
+    const int id = gpu.launchKernel(k);
+
+    stepUntil(gpu, [&] { return residentOf(gpu, id) >= 1; });
+    gpu.requestDrain(id, true);
+    gpu.requestDrain(id, false); // lifted before residency hit zero
+
+    EXPECT_EQ(gpu.drainCancels(), 1u);
+    EXPECT_EQ(gpu.drainsCompleted(), 0u);
+    EXPECT_EQ(gpu.drainLatencyCycles(), 0u);
+
+    // Undraining when not draining is idempotent, not another cancel.
+    gpu.requestDrain(id, false);
+    EXPECT_EQ(gpu.drainCancels(), 1u);
+
+    gpu.run();
+    EXPECT_TRUE(gpu.kernel(id).finished());
+}
+
+TEST(Drain, DrainWithNothingResidentCompletesImmediately)
+{
+    const KernelInfo k = kernel("victim");
+    Gpu gpu(cfg(CtaSchedKind::Lazy));
+    const int id = gpu.launchKernel(k);
+
+    // Before the first dispatch tick nothing is resident: the drain is
+    // complete the moment it is requested, at zero latency.
+    gpu.requestDrain(id, true);
+    EXPECT_EQ(gpu.drainsCompleted(), 1u);
+    EXPECT_EQ(gpu.drainLatencyCycles(), 0u);
 }
 
 TEST(Drain, BadKernelIdDies)

@@ -13,12 +13,16 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "harness/parallel_runner.hh"
 #include "harness/runner.hh"
+#include "obs/sampler.hh"
+#include "obs/trace.hh"
 #include "serve/engine.hh"
+#include "serve/serve_trace.hh"
 #include "serve/serving_report.hh"
 #include "serve/traffic.hh"
 #include "sim/rng.hh"
@@ -384,6 +388,362 @@ TEST(ServingDeterminism, JobCountByteIdentical)
 TEST(ServingDeterminism, RepeatRunByteIdentical)
 {
     EXPECT_EQ(reportJsonFor(serveCfg(), 2), reportJsonFor(serveCfg(), 2));
+}
+
+// --- predictor accuracy -------------------------------------------------
+
+TEST(PredictorAccuracy, CountsAndBinsAbsoluteError)
+{
+    PredictorAccuracy acc;
+    acc.record("k", 100, 110); // under by 10
+    acc.record("k", 120, 100); // over by 20
+    acc.record("j", 50, 50);   // exact
+    EXPECT_EQ(acc.samples(), 3u);
+    EXPECT_EQ(acc.overpredictions(), 1u);
+    EXPECT_EQ(acc.underpredictions(), 1u);
+    EXPECT_EQ(acc.exactPredictions(), 1u);
+    EXPECT_DOUBLE_EQ(acc.meanAbsError(), 10.0); // (10 + 20 + 0) / 3
+    EXPECT_EQ(acc.errorHistogram().total(), 3u);
+    EXPECT_EQ(acc.errorHistogram().sum(), 30u);
+    EXPECT_EQ(acc.errorHistogram().max(), 20u);
+}
+
+TEST(PredictorAccuracy, EmptyTrackerReadsZero)
+{
+    const PredictorAccuracy acc;
+    EXPECT_EQ(acc.samples(), 0u);
+    EXPECT_DOUBLE_EQ(acc.meanAbsError(), 0.0);
+    EXPECT_TRUE(acc.workloadSeries("anything").empty());
+}
+
+TEST(PredictorAccuracy, WorkloadSeriesPreservesCompletionOrder)
+{
+    PredictorAccuracy acc;
+    acc.record("k", 100, 300);
+    acc.record("k", 250, 300);
+    acc.record("k", 290, 300);
+    const auto& series = acc.workloadSeries("k");
+    ASSERT_EQ(series.size(), 3u);
+    // The EWMA convergence story: error shrinks sample by sample.
+    EXPECT_GT(series[0].absError(), series[1].absError());
+    EXPECT_GT(series[1].absError(), series[2].absError());
+    EXPECT_EQ(series[0].predicted, 100u);
+    EXPECT_EQ(series[2].actual, 300u);
+    EXPECT_EQ(acc.byWorkload().size(), 1u);
+}
+
+TEST(PredictorAccuracy, ZeroActualDies)
+{
+    PredictorAccuracy acc;
+    EXPECT_DEATH(acc.record("k", 10, 0), "actual");
+}
+
+// --- decision audit -----------------------------------------------------
+
+/** Bursty deadline tenants against a long-kernel batch tenant on the
+ *  small test machine — tuned so the reorder+preempt policy actually
+ *  fires at least one CTA-drain preemption. */
+TrafficSpec
+deadlineSpec()
+{
+    TrafficSpec spec;
+    spec.seed = 23;
+    TenantSpec latency;
+    latency.process = ArrivalProcess::Bursty;
+    latency.mix = {"lud", "nw"};
+    latency.requests = 6;
+    latency.burstLen = 3;
+    latency.meanGapCycles = 400000;
+    latency.intraBurstGapCycles = 1000;
+    latency.deadlineSlack = 60000;
+    TenantSpec batch;
+    batch.process = ArrivalProcess::Poisson;
+    batch.mix = {"bp"};
+    batch.requests = 2;
+    batch.meanGapCycles = 500000;
+    spec.tenants = {latency, batch};
+    return spec;
+}
+
+TEST(ServeAudit, FcfsRunAuditsEveryAdmission)
+{
+    ServeConfig serve;
+    serve.policy = ServePolicy::Fcfs;
+    ServingEngine engine(serveCfg(), serve);
+    ServeTrace trace;
+    engine.setTrace(&trace);
+    const ServingRunResult result = engine.run(generateTrace(smallSpec()));
+
+    // Every served request was either admitted plainly or launched as a
+    // preemptor; FCFS never preempts.
+    EXPECT_EQ(trace.audit.preempts, 0u);
+    EXPECT_EQ(trace.audit.admits, result.outcomes.size());
+
+    // The per-kind counts are exactly the log's tallies.
+    std::map<ServeDecisionKind, std::uint64_t> tally;
+    for (const ServeDecision& d : trace.audit.decisions)
+        ++tally[d.kind];
+    EXPECT_EQ(tally[ServeDecisionKind::Admit], trace.audit.admits);
+    EXPECT_EQ(tally[ServeDecisionKind::Defer], trace.audit.defers);
+    EXPECT_EQ(tally[ServeDecisionKind::Preempt], trace.audit.preempts);
+    EXPECT_EQ(tally[ServeDecisionKind::DrainCancel],
+              trace.audit.drainCancels);
+
+    // Admissions carry the inputs that drove them.
+    for (const ServeDecision& d : trace.audit.decisions) {
+        if (d.kind != ServeDecisionKind::Admit)
+            continue;
+        EXPECT_FALSE(d.workload.empty());
+        EXPECT_GE(d.tenant, 0);
+        EXPECT_GT(d.predictedTotal, 0u);
+        EXPECT_EQ(d.reason, "admitted");
+    }
+
+    // One predictor accuracy sample per completed launch.
+    EXPECT_EQ(trace.accuracy.samples(), result.outcomes.size());
+}
+
+TEST(ServeAudit, PreemptionRecordsVictimAndRemainder)
+{
+    ServeConfig serve;
+    serve.policy = ServePolicy::ReorderPreempt;
+    ServingEngine engine(serveCfg(), serve);
+    ServeTrace trace;
+    engine.setTrace(&trace);
+    const ServingRunResult result =
+        engine.run(generateTrace(deadlineSpec()));
+
+    ASSERT_GE(trace.audit.preempts, 1u);
+    EXPECT_EQ(result.preemptions, trace.audit.preempts);
+    EXPECT_EQ(trace.audit.admits + trace.audit.preempts,
+              result.outcomes.size());
+    for (const ServeDecision& d : trace.audit.decisions) {
+        if (d.kind != ServeDecisionKind::Preempt)
+            continue;
+        EXPECT_NE(d.victim, kInvalidId);
+        EXPECT_GT(d.victimPredictedRemaining, 0u);
+        EXPECT_TRUE(d.urgent);
+        EXPECT_EQ(d.reason, "deadline_urgent");
+        EXPECT_NE(d.deadline, kCycleNever);
+    }
+    // Victims that outlived their preemptor had the drain lifted.
+    EXPECT_EQ(result.drainRequests, trace.audit.preempts);
+    EXPECT_EQ(result.drainCancels, trace.audit.drainCancels);
+    EXPECT_LE(result.drainCancels + result.drainsCompleted,
+              result.drainRequests);
+    EXPECT_DOUBLE_EQ(result.stats.get("serve.drain_cancels"),
+                     static_cast<double>(result.drainCancels));
+    EXPECT_DOUBLE_EQ(result.stats.get("serve.drains_completed"),
+                     static_cast<double>(result.drainsCompleted));
+}
+
+TEST(ServeAudit, AttachingTheTraceChangesNothing)
+{
+    ServeConfig serve;
+    serve.policy = ServePolicy::ReorderPreempt;
+    ServingEngine bare(serveCfg(), serve);
+    const auto rb = bare.run(generateTrace(deadlineSpec()));
+
+    ServingEngine audited(serveCfg(), serve);
+    ServeTrace trace;
+    audited.setTrace(&trace);
+    const auto ra = audited.run(generateTrace(deadlineSpec()));
+
+    ASSERT_EQ(rb.outcomes.size(), ra.outcomes.size());
+    for (std::size_t i = 0; i < rb.outcomes.size(); ++i) {
+        EXPECT_EQ(rb.outcomes[i].admit, ra.outcomes[i].admit);
+        EXPECT_EQ(rb.outcomes[i].finish, ra.outcomes[i].finish);
+    }
+    EXPECT_EQ(rb.totalCycles, ra.totalCycles);
+    EXPECT_EQ(rb.preemptions, ra.preemptions);
+}
+
+// --- request lifecycle spans --------------------------------------------
+
+TEST(ServeLifecycle, OutcomesCarryFirstDispatchAndPrediction)
+{
+    ServeConfig serve;
+    serve.policy = ServePolicy::Fcfs;
+    ServingEngine engine(serveCfg(), serve);
+    const ServingRunResult result = engine.run(generateTrace(smallSpec()));
+    for (const RequestOutcome& out : result.outcomes) {
+        ASSERT_NE(out.firstDispatch, kCycleNever);
+        EXPECT_GE(out.firstDispatch, out.admit);
+        EXPECT_LT(out.firstDispatch, out.finish);
+        EXPECT_GT(out.predictedTotal, 0u);
+    }
+}
+
+TEST(ServeLifecycle, TenantLanesCarryTheSpans)
+{
+    const GpuConfig config = serveCfg();
+    Tracer tracer(config.numCores, config.numMemPartitions);
+    const std::uint32_t fixed = tracer.numTracks();
+
+    ServeConfig serve;
+    serve.policy = ServePolicy::Fcfs;
+    ServingEngine engine(config, serve);
+    Observer obs;
+    obs.tracer = &tracer;
+    engine.setObserver(obs);
+    const auto trace = generateTrace(smallSpec());
+    const ServingRunResult result = engine.run(trace);
+
+    // One extra lane per tenant, after the fixed tracks.
+    ASSERT_EQ(tracer.numTracks(), fixed + 2);
+    EXPECT_EQ(tracer.trackName(fixed), "tenant0");
+    EXPECT_EQ(tracer.trackName(fixed + 1), "tenant1");
+
+    const auto arrivals = tracer.eventsOfKind(TraceEventKind::ServeArrival);
+    const auto queued = tracer.eventsOfKind(TraceEventKind::ServeQueued);
+    const auto running = tracer.eventsOfKind(TraceEventKind::ServeRunning);
+    EXPECT_EQ(arrivals.size(), trace.size());
+    EXPECT_EQ(queued.size(), trace.size());
+    EXPECT_EQ(running.size(), trace.size());
+
+    // Spans agree with the outcomes: queued ends at admit with duration
+    // admit - release; running ends at finish.
+    for (const TraceEvent& e : queued) {
+        const RequestOutcome& out =
+            result.outcomes.at(static_cast<std::size_t>(e.arg0));
+        EXPECT_EQ(e.cycle, out.admit);
+        EXPECT_EQ(e.duration, out.admit - out.release);
+    }
+    for (const TraceEvent& e : running) {
+        const RequestOutcome& out =
+            result.outcomes.at(static_cast<std::size_t>(e.arg0));
+        EXPECT_EQ(e.cycle, out.finish);
+        EXPECT_EQ(e.duration, out.finish - out.firstDispatch);
+    }
+}
+
+// --- serving gauges on the sampler --------------------------------------
+
+TEST(ServeSampler, GaugesRideEveryFencedSample)
+{
+    const GpuConfig config = serveCfg();
+    IntervalSampler sampler(256);
+    ServeConfig serve;
+    serve.policy = ServePolicy::Fcfs;
+    ServingEngine engine(config, serve);
+    Observer obs;
+    obs.sampler = &sampler;
+    engine.setObserver(obs);
+    engine.run(generateTrace(smallSpec()));
+
+    ASSERT_GT(sampler.samples(), 0u);
+    for (const char* name :
+         {"serve.queue_depth", "serve.running_kernels",
+          "serve.occupied_cta_slots", "serve.headroom_slots",
+          "serve.drains_in_flight"}) {
+        const SampleSeries* series = sampler.find(name);
+        ASSERT_NE(series, nullptr) << name;
+        EXPECT_EQ(series->kind, SeriesKind::Gauge) << name;
+        EXPECT_EQ(series->values.size(), sampler.samples()) << name;
+    }
+    // The machine served work, so something ran at some point.
+    const SampleSeries* running = sampler.find("serve.running_kernels");
+    double peak = 0.0;
+    for (const double v : running->values)
+        peak = std::max(peak, v);
+    EXPECT_GE(peak, 1.0);
+}
+
+TEST(ServeSampler, GaugesAreFastForwardInvariant)
+{
+    auto gaugesFor = [](bool fast_forward) {
+        IntervalSampler sampler(256);
+        ServeConfig serve;
+        serve.policy = ServePolicy::Fcfs;
+        ServingEngine engine(serveCfg(fast_forward), serve);
+        Observer obs;
+        obs.sampler = &sampler;
+        engine.setObserver(obs);
+        engine.run(generateTrace(smallSpec()));
+        std::ostringstream os;
+        sampler.writeCsv(os);
+        return os.str();
+    };
+    EXPECT_EQ(gaugesFor(true), gaugesFor(false));
+}
+
+// --- servetrace artifact determinism ------------------------------------
+
+std::string
+serveTraceJsonFor(const GpuConfig& config, unsigned jobs)
+{
+    const std::vector<ServePolicy> policies = {ServePolicy::Fcfs,
+                                               ServePolicy::ReorderPreempt};
+    struct Point
+    {
+        ServingRunResult result;
+        ServeTrace trace;
+    };
+    const ParallelRunner runner(jobs);
+    const auto results =
+        runner.map<Point>(policies.size(), [&](std::size_t i) {
+            ServeConfig serve;
+            serve.policy = policies[i];
+            Point point;
+            ServingEngine engine(config, serve);
+            engine.setTrace(&point.trace);
+            point.result = engine.run(generateTrace(deadlineSpec()));
+            return point;
+        });
+    ServeTraceReport report("test_servetrace");
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+        report.addRun(toString(policies[i]), "deadline", results[i].result,
+                      results[i].trace);
+    }
+    return report.toJson();
+}
+
+TEST(ServeTraceDeterminism, FastForwardOnOffByteIdentical)
+{
+    EXPECT_EQ(serveTraceJsonFor(serveCfg(true), 2),
+              serveTraceJsonFor(serveCfg(false), 2));
+}
+
+TEST(ServeTraceDeterminism, JobCountByteIdentical)
+{
+    EXPECT_EQ(serveTraceJsonFor(serveCfg(), 1),
+              serveTraceJsonFor(serveCfg(), 4));
+}
+
+TEST(ServeTraceDeterminism, RepeatRunByteIdentical)
+{
+    EXPECT_EQ(serveTraceJsonFor(serveCfg(), 2),
+              serveTraceJsonFor(serveCfg(), 2));
+}
+
+TEST(ServeTraceReport, JsonCarriesSchemaDecisionsAndPredictor)
+{
+    ServeConfig serve;
+    serve.policy = ServePolicy::ReorderPreempt;
+    ServingEngine engine(serveCfg(), serve);
+    ServeTrace trace;
+    engine.setTrace(&trace);
+    const auto result = engine.run(generateTrace(deadlineSpec()));
+
+    ServeTraceReport report("t");
+    report.addRun("reorder+preempt", "deadline", result, trace);
+    const std::string json = report.toJson();
+    EXPECT_NE(json.find("\"schema\": \"bsched-servetrace-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"preempt\""), std::string::npos);
+    EXPECT_NE(json.find("\"victim_predicted_remaining\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"error_buckets\""), std::string::npos);
+    EXPECT_NE(json.find("\"request_spans\""), std::string::npos);
+}
+
+TEST(ServeTraceReport, DuplicatePolicyTraceDies)
+{
+    ServingRunResult result;
+    ServeTrace trace;
+    ServeTraceReport report("dup");
+    report.addRun("fcfs", "t", result, trace);
+    EXPECT_DEATH(report.addRun("fcfs", "t", result, trace), "duplicate");
 }
 
 // --- report -------------------------------------------------------------

@@ -132,5 +132,43 @@ TEST(Percentile, DiesOnEmptyOrBadP)
     EXPECT_DEATH(percentile({1.0}, 101.0), "0, 100");
 }
 
+TEST(Percentile, ExactIntegerProductsDoNotOvershootRank)
+{
+    // p99 of 100 samples is rank 99 — but 99/100.0*100 rounds up to
+    // 99.000000000000014 in floating point, so a divide-first ceil
+    // lands one rank too high and reports the maximum instead. The
+    // multiply-first epsilon-shaved rank must hit the true sample.
+    std::vector<double> v(100);
+    for (int i = 0; i < 100; ++i)
+        v[static_cast<std::size_t>(i)] = i + 1.0; // 1..100
+    EXPECT_DOUBLE_EQ(percentile(v, 99.0), 99.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 50.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 100.0);
+}
+
+TEST(Percentile, SingleElementIsEveryPercentile)
+{
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 1.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, TwoElementsSplitAtTheMedian)
+{
+    EXPECT_DOUBLE_EQ(percentile({2.0, 1.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({2.0, 1.0}, 50.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({2.0, 1.0}, 50.1), 2.0);
+    EXPECT_DOUBLE_EQ(percentile({2.0, 1.0}, 100.0), 2.0);
+}
+
+TEST(Percentile, AllEqualValuesAtEveryP)
+{
+    const std::vector<double> v = {5.0, 5.0, 5.0, 5.0};
+    for (const double p : {0.0, 25.0, 50.0, 75.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(percentile(v, p), 5.0) << "p=" << p;
+}
+
 } // namespace
 } // namespace bsched

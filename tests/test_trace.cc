@@ -58,6 +58,50 @@ TEST(Tracer, TrackLayout)
     EXPECT_EQ(t.trackName(6), "gpu");
 }
 
+TEST(Tracer, DynamicTracksExtendTheFixedLayout)
+{
+    Tracer t(2, 1);
+    EXPECT_EQ(t.numTracks(), 4u);
+    const std::uint32_t lane0 = t.addTrack("tenant0");
+    const std::uint32_t lane1 = t.addTrack("tenant1");
+    EXPECT_EQ(lane0, 4u);
+    EXPECT_EQ(lane1, 5u);
+    EXPECT_EQ(t.numTracks(), 6u);
+    EXPECT_EQ(t.trackName(lane0), "tenant0");
+    EXPECT_EQ(t.trackName(lane1), "tenant1");
+    // The fixed tracks are untouched.
+    EXPECT_EQ(t.trackName(t.gpuTrack()), "gpu");
+
+    TraceEvent e;
+    e.cycle = 10;
+    e.kind = TraceEventKind::ServeQueued;
+    e.duration = 5;
+    t.record(lane1, e);
+    EXPECT_TRUE(t.events(lane0).empty());
+    ASSERT_EQ(t.events(lane1).size(), 1u);
+    EXPECT_EQ(t.events(lane1).front().cycle, 10u);
+}
+
+TEST(Tracer, ServeEventKindsHaveNamesAndSpanness)
+{
+    EXPECT_STREQ(toString(TraceEventKind::DrainComplete),
+                 "serve.drain_complete");
+    EXPECT_STREQ(toString(TraceEventKind::ServeArrival), "serve.arrival");
+    EXPECT_STREQ(toString(TraceEventKind::ServeQueued), "serve.queued");
+    EXPECT_STREQ(toString(TraceEventKind::ServeDispatching),
+                 "serve.dispatching");
+    EXPECT_STREQ(toString(TraceEventKind::ServeRunning), "serve.running");
+    EXPECT_STREQ(toString(TraceEventKind::ServeDrainVictim),
+                 "serve.drain_victim");
+    // Lifecycle phases render as Chrome "X" spans; the markers do not.
+    EXPECT_TRUE(isSpan(TraceEventKind::ServeQueued));
+    EXPECT_TRUE(isSpan(TraceEventKind::ServeDispatching));
+    EXPECT_TRUE(isSpan(TraceEventKind::ServeRunning));
+    EXPECT_TRUE(isSpan(TraceEventKind::DrainComplete));
+    EXPECT_FALSE(isSpan(TraceEventKind::ServeArrival));
+    EXPECT_FALSE(isSpan(TraceEventKind::ServeDrainVictim));
+}
+
 TEST(Tracer, RingDropsOldestWhenFull)
 {
     Tracer t(1, 1, 4);

@@ -15,10 +15,11 @@ schema and prints a per-metric delta table. Two schemas are understood:
     figure-artifact tolerance CI uses). On top of the baseline diff the
     *current* artifact must meet machine-independent budget floors:
     ``relative_rate.profiled_vs_plain >= 0.85`` (profiling overhead),
-    ``fast_forward.idle_heavy.speedup >= 3.0`` (idle fast-forward must
-    pay off) and ``fast_forward.busy.speedup >= 0.9`` (and must not tax
-    busy runs). Budget violations are hard failures regardless of
-    ``--tolerance``.
+    ``relative_rate.servetraced_vs_plain >= 0.9`` (serving decision
+    audit overhead), ``fast_forward.idle_heavy.speedup >= 3.0`` (idle
+    fast-forward must pay off) and ``fast_forward.busy.speedup >= 0.9``
+    (and must not tax busy runs). Budget violations are hard failures
+    regardless of ``--tolerance``.
 
 ``bsched-bench-v1``
     Figure artifact from any bench binary's ``--emit-json``. Rows are
@@ -32,13 +33,21 @@ schema and prints a per-metric delta table. Two schemas are understood:
 ``bsched-serving-v1``
     Serving artifact from ``fig_serving --emit-json``. Runs are matched
     by (trace, policy) and judged in three classes: integer counters
-    (requests, deadlines, misses, preemptions, reorders, total_cycles)
-    must match the baseline *exactly* — the serving pipeline is
-    bit-deterministic end to end, so any drift is a model change;
-    latency quantiles and throughput are compared relatively at the
-    tolerance; bounded [0, 1] quantities (deadline_miss_rate, fairness,
-    per-tenant ANTT) are compared by *absolute* delta at the tolerance,
-    because relative deltas explode as they approach 0.
+    (requests, deadlines, misses, preemptions, reorders, total_cycles,
+    the drain_* cost counters) must match the baseline *exactly* — the
+    serving pipeline is bit-deterministic end to end, so any drift is a
+    model change; latency quantiles and throughput are compared
+    relatively at the tolerance; bounded [0, 1] quantities
+    (deadline_miss_rate, fairness, per-tenant ANTT) are compared by
+    *absolute* delta at the tolerance, because relative deltas explode
+    as they approach 0.
+
+``bsched-servetrace-v1``
+    Decision-audit artifact from ``fig_serve_trace --emit-json`` (or
+    any bench binary's ``--serve-trace``). Decision counts, drain
+    counters, predictor sample counts and the decision-log length must
+    match exactly; the predictor's mean absolute error is compared
+    relatively.
 
 Exit status: 0 when the artifacts match within tolerance (or
 ``--warn-only`` was given), 1 when at least one metric regressed or a
@@ -57,7 +66,7 @@ import sys
 from pathlib import Path
 
 KNOWN_SCHEMAS = ("bsched-simspeed-v1", "bsched-bench-v1",
-                 "bsched-serving-v1")
+                 "bsched-serving-v1", "bsched-servetrace-v1")
 
 
 def usage_error(message: str) -> None:
@@ -197,6 +206,8 @@ def compare_simspeed(base: dict, cur: dict, cmp: Comparison) -> None:
     # these hold on any host, so they gate hard regardless of baseline.
     cmp.budget("relative_rate.profiled_vs_plain", 0.85,
                cur_rel.get("profiled_vs_plain"))
+    cmp.budget("relative_rate.servetraced_vs_plain", 0.9,
+               cur_rel.get("servetraced_vs_plain"))
     cmp.budget("fast_forward.idle_heavy.speedup", 3.0,
                cur_ff.get("idle_heavy", {}).get("speedup"))
     cmp.budget("fast_forward.busy.speedup", 0.9,
@@ -245,7 +256,9 @@ def compare_bench(base: dict, cur: dict, cmp: Comparison) -> None:
 
 def compare_serving(base: dict, cur: dict, cmp: Comparison) -> None:
     EXACT_FIELDS = ("requests", "deadlines", "misses", "preemptions",
-                    "reorders", "total_cycles")
+                    "reorders", "total_cycles", "drain_requests",
+                    "drain_cancels", "drains_completed",
+                    "drain_latency_cycles")
     RELATIVE_FIELDS = ("throughput_per_mcycle", "p50_latency",
                        "p99_latency", "mean_latency")
     ABSOLUTE_FIELDS = ("deadline_miss_rate", "fairness")
@@ -299,6 +312,54 @@ def compare_serving(base: dict, cur: dict, cmp: Comparison) -> None:
             cmp.note(f"metric '{key}' only in current artifact")
 
 
+def compare_servetrace(base: dict, cur: dict, cmp: Comparison) -> None:
+    """Judge two ``bsched-servetrace-v1`` decision-audit artifacts.
+
+    The audit is pure observation of a bit-deterministic pipeline, so
+    every decision count, drain counter and predictor sample count must
+    match the baseline exactly; only the predictor's mean absolute
+    error is judged relatively (it shifts legitimately when predictor
+    tuning changes, and the decision counts catch any behavioral
+    drift). Individual decisions are not diffed here — the CI
+    byte-gate (cmp against the committed baseline) already pins them.
+    """
+
+    def run_key(run: dict) -> str:
+        return f"{run.get('trace')}/{run.get('policy')}"
+
+    base_runs = {run_key(r): r for r in base.get("runs", [])}
+    cur_runs = {run_key(r): r for r in cur.get("runs", [])}
+    for key, brun in base_runs.items():
+        crun = cur_runs.get(key)
+        if crun is None:
+            cmp.note(f"run '{key}' missing from current artifact")
+            continue
+        for field in ("requests", "total_cycles"):
+            if field in brun and field in crun:
+                cmp.compare_exact(f"runs[{key}].{field}", brun[field],
+                                  crun[field])
+        for group in ("counts", "drain"):
+            bgrp, cgrp = brun.get(group, {}), crun.get(group, {})
+            for field, bval in bgrp.items():
+                if field in cgrp:
+                    cmp.compare_exact(f"runs[{key}].{group}.{field}",
+                                      bval, cgrp[field])
+        bpred, cpred = brun.get("predictor", {}), crun.get("predictor", {})
+        for field in ("samples", "over", "under", "exact"):
+            if field in bpred and field in cpred:
+                cmp.compare_exact(f"runs[{key}].predictor.{field}",
+                                  bpred[field], cpred[field])
+        if "mean_abs_error" in bpred and "mean_abs_error" in cpred:
+            cmp.compare(f"runs[{key}].predictor.mean_abs_error",
+                        bpred["mean_abs_error"], cpred["mean_abs_error"])
+        blen = len(brun.get("decisions", []))
+        clen = len(crun.get("decisions", []))
+        cmp.compare_exact(f"runs[{key}].len(decisions)", blen, clen)
+    for key in cur_runs:
+        if key not in base_runs:
+            cmp.note(f"run '{key}' only in current artifact")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="diff two bsched benchmark artifacts, flag regressions"
@@ -337,6 +398,8 @@ def main() -> int:
         compare_simspeed(base, cur, cmp)
     elif base["schema"] == "bsched-serving-v1":
         compare_serving(base, cur, cmp)
+    elif base["schema"] == "bsched-servetrace-v1":
+        compare_servetrace(base, cur, cmp)
     else:
         compare_bench(base, cur, cmp)
 
