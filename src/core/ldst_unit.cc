@@ -43,6 +43,11 @@ LdstUnit::pushBatch(Cycle now, int warp_id, std::int8_t reg, bool write,
                     std::int64_t cta_key)
 {
     (void)now;
+    // Callers gate on canAcceptBatch(); batches are never empty (the
+    // coalescer always produces >= 1 line). Panics are the always-on
+    // backup.
+    BSCHED_CHECK(canAcceptBatch(), name_, ": batch queue overflow");
+    BSCHED_CHECK(!lines.empty(), name_, ": empty access batch");
     if (!canAcceptBatch())
         panic(name_, ": batch queue overflow");
     if (lines.empty())

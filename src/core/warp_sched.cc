@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -60,6 +61,9 @@ LrrScheduler::pick(const std::vector<int>& ready,
                    const std::vector<Warp>& warps)
 {
     (void)warps;
+    // Documented precondition of every pick(): non-empty ready set —
+    // ready.front() below is UB otherwise.
+    BSCHED_CHECK(!ready.empty(), "lrr: pick() with empty ready set");
     // Smallest ready id strictly greater than the last issued, wrapping.
     for (int id : ready) {
         if (id > lastIssued_)
@@ -81,6 +85,7 @@ int
 GtoScheduler::pick(const std::vector<int>& ready,
                    const std::vector<Warp>& warps)
 {
+    BSCHED_CHECK(!ready.empty(), "gto: pick() with empty ready set");
     if (lastIssued_ >= 0 && contains(ready, lastIssued_))
         return lastIssued_;
     return oldest(ready, warps);
@@ -106,6 +111,8 @@ int
 TwoLevelScheduler::pick(const std::vector<int>& ready,
                         const std::vector<Warp>& warps)
 {
+    BSCHED_CHECK(!ready.empty(),
+                 "two-level: pick() with empty ready set");
     // Drop demoted warps (invalid slots) from the active set lazily.
     std::erase_if(active_, [&](int id) {
         return !warps[static_cast<std::size_t>(id)].live();
@@ -206,6 +213,7 @@ int
 BawsScheduler::pick(const std::vector<int>& ready,
                     const std::vector<Warp>& warps)
 {
+    BSCHED_CHECK(!ready.empty(), "baws: pick() with empty ready set");
     // Greedy at block granularity: stick with the last block if any of
     // its warps is ready.
     if (lastBlock_ != kNoBlock) {

@@ -33,6 +33,22 @@ class BlockCtaScheduler : public CtaScheduler
     void tick(Cycle now, std::vector<KernelInstance>& kernels,
               CoreList& cores) override;
 
+    /**
+     * Purely event-driven: a block becomes dispatchable only when B
+     * slots fit on a core, i.e. after CTA completions — which end a
+     * fast-forwarded span anyway. No time-driven deadlines of its own
+     * (the LCS overlay adds those in LazyBlockCtaScheduler).
+     */
+    Cycle
+    nextEventCycle(Cycle now, const std::vector<KernelInstance>& kernels,
+                   const CoreList& cores) const override
+    {
+        (void)now;
+        (void)kernels;
+        (void)cores;
+        return kCycleNever;
+    }
+
     const char* name() const override { return "bcs"; }
 
   protected:

@@ -165,6 +165,21 @@ class RoundRobinCtaScheduler : public CtaScheduler
     void tick(Cycle now, std::vector<KernelInstance>& kernels,
               CoreList& cores) override;
 
+    /**
+     * Purely event-driven: greedy round-robin has no monitoring windows
+     * or sampling periods, so dispatch eligibility only changes on CTA
+     * completions — which end a fast-forwarded span anyway.
+     */
+    Cycle
+    nextEventCycle(Cycle now, const std::vector<KernelInstance>& kernels,
+                   const CoreList& cores) const override
+    {
+        (void)now;
+        (void)kernels;
+        (void)cores;
+        return kCycleNever;
+    }
+
     const char* name() const override { return "rr"; }
 };
 

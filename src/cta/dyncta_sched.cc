@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -23,6 +24,9 @@ DynctaScheduler::DynctaScheduler(const GpuConfig& config)
 std::uint32_t
 DynctaScheduler::target(std::uint32_t core) const
 {
+    BSCHED_CHECK(core < state_.size(),
+                 "dyncta: target() for core ", core, " of ",
+                 state_.size());
     return state_.at(core).target;
 }
 

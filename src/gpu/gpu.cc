@@ -86,6 +86,11 @@ Gpu::launchKernel(const KernelInfo& kernel, int core_begin, int core_end,
 void
 Gpu::requestDrain(int kernel_id, bool draining)
 {
+    // Serving-layer entry point: the id must name a launched kernel
+    // (fatal is the always-on backup).
+    BSCHED_CHECK(kernel_id >= 0 &&
+                     kernel_id < static_cast<int>(kernels_.size()),
+                 "requestDrain: bad kernel id ", kernel_id);
     if (kernel_id < 0 || kernel_id >= static_cast<int>(kernels_.size()))
         fatal("requestDrain: bad kernel id ", kernel_id);
     const bool was_draining = ctaSched_->isDraining(kernel_id);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
 
@@ -127,6 +128,10 @@ IsolatedCycleCache::lookup(std::uint64_t key, Cycle* out) const
 void
 IsolatedCycleCache::insert(std::uint64_t key, Cycle cycles)
 {
+    // An isolated runtime of zero means the caller cached a run that
+    // never executed; lookups would then divide by it (ANTT, slowdown).
+    BSCHED_CHECK(cycles > 0,
+                 "isolated cache: zero-cycle runtime for key ", key);
     std::lock_guard<std::mutex> lock(mutex_);
     map_[key] = cycles;
 }

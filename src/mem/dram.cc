@@ -4,6 +4,7 @@
 
 #include "obs/mem_profile.hh"
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -41,6 +42,10 @@ void
 DramChannel::push(Cycle now, Addr line_addr, bool write,
                   std::uint32_t req_id)
 {
+    // Callers gate on canAccept(); a push past it would silently grow
+    // the queue beyond the configured capacity (panic is the always-on
+    // backup).
+    BSCHED_CHECK(canAccept(), "dram ", name_, ": push into full queue");
     if (!canAccept())
         panic("dram ", name_, ": push into full queue");
     queue_.push_back({line_addr, write, now, bankOf(line_addr),
@@ -158,6 +163,8 @@ DramChannel::responseReady(Cycle now) const
 Addr
 DramChannel::popResponse(Cycle now)
 {
+    BSCHED_CHECK(responseReady(now),
+                 "dram ", name_, ": popResponse before ready");
     if (!responseReady(now))
         panic("dram ", name_, ": popResponse before ready");
     Addr line = completions_.front().second;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/mem_profile.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 #include "sim/rng.hh"
 
@@ -44,6 +45,9 @@ void
 Interconnect::sendRequest(Cycle now, const MemRequest& request)
 {
     const std::uint32_t partition = partitionFor(request.lineAddr);
+    // The documented protocol: callers gate on canSendRequest().
+    BSCHED_CHECK(canSendRequest(partition),
+                 "icnt: sendRequest to full channel ", partition);
     requestQ_.at(partition).push(now, request);
     ++requestsSent_;
     if (memProfiler_ != nullptr)
@@ -65,6 +69,9 @@ Interconnect::ejectBudget(std::uint32_t partition, Cycle now)
 MemRequest
 Interconnect::popRequest(std::uint32_t partition, Cycle now)
 {
+    BSCHED_CHECK(requestReady(partition, now),
+                 "icnt: popRequest before ready at partition ",
+                 partition);
     return requestQ_.at(partition).pop(now);
 }
 
@@ -78,6 +85,8 @@ void
 Interconnect::sendResponse(Cycle now, std::uint32_t core,
                            const MemResponse& response)
 {
+    BSCHED_CHECK(canSendResponse(core),
+                 "icnt: sendResponse to full channel ", core);
     responseQ_.at(core).push(now, response);
     ++responsesSent_;
     if (memProfiler_ != nullptr) {
@@ -95,6 +104,8 @@ Interconnect::responseReady(std::uint32_t core, Cycle now) const
 MemResponse
 Interconnect::popResponse(std::uint32_t core, Cycle now)
 {
+    BSCHED_CHECK(responseReady(core, now),
+                 "icnt: popResponse before ready at core ", core);
     return responseQ_.at(core).pop(now);
 }
 

@@ -4,6 +4,7 @@
 
 #include "obs/mem_profile.hh"
 #include "obs/trace.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -38,6 +39,10 @@ MemPartition::setMemProfiler(MemProfiler* prof)
 void
 MemPartition::pushRequest(Cycle now, const MemRequest& request)
 {
+    // The documented protocol: the interconnect gates on
+    // canAcceptRequest() before delivering.
+    BSCHED_CHECK(canAcceptRequest(),
+                 "partition ", name_, ": pushRequest past capacity");
     input_.push(now, request);
     if (request.write)
         ++writeRequests_;
@@ -204,6 +209,8 @@ MemPartition::peekResponse() const
 MemResponse
 MemPartition::popResponse()
 {
+    BSCHED_CHECK(responseReady(),
+                 "partition ", name_, ": popResponse on empty queue");
     if (replies_.empty())
         panic("partition ", name_, ": popResponse on empty queue");
     MemResponse resp = replies_.front();

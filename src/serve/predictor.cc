@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -42,6 +43,10 @@ void
 RuntimePredictor::recordCompletion(const std::string& workload,
                                    Cycle actual)
 {
+    // A zero-cycle completion would poison the EWMA toward predicting
+    // instant kernels (fatal is the always-on backup).
+    BSCHED_CHECK(actual > 0,
+                 "predictor: zero-cycle completion for ", workload);
     if (actual == 0)
         fatal("predictor: zero-cycle completion for ", workload);
     History& h = history_[workload];
@@ -58,6 +63,9 @@ void
 PredictorAccuracy::record(const std::string& workload, Cycle predicted,
                           Cycle actual)
 {
+    // relError() divides by actual (fatal is the always-on backup).
+    BSCHED_CHECK(actual > 0,
+                 "predictor accuracy: zero-cycle actual for ", workload);
     if (actual == 0)
         fatal("predictor accuracy: zero-cycle actual for ", workload);
     Sample sample;

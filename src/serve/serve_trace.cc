@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/sink.hh"
+#include "sim/check.hh"
 #include "sim/log.hh"
 
 namespace bsched {
@@ -103,6 +104,13 @@ toString(ServeDecisionKind kind)
 void
 ServeAudit::record(const ServeDecision& decision)
 {
+    // The audit is an append-only log in decision order; out-of-order
+    // records would mean the engine audited a decision after the fact
+    // and the exported timeline would lie.
+    BSCHED_CHECK(decisions.empty() ||
+                     decision.cycle >= decisions.back().cycle,
+                 "serve audit: decision at cycle ", decision.cycle,
+                 " recorded after cycle ", decisions.back().cycle);
     decisions.push_back(decision);
     switch (decision.kind) {
       case ServeDecisionKind::Admit: ++admits; break;

@@ -10,14 +10,25 @@
 
 #include <gtest/gtest.h>
 
+#include "core/ldst_unit.hh"
 #include "core/scoreboard.hh"
 #include "core/simt_core.hh"
+#include "core/warp_sched.hh"
+#include "cta/block_cta_sched.hh"
 #include "cta/cta_sched.hh"
+#include "cta/dyncta_sched.hh"
 #include "cta/lazy_cta_sched.hh"
+#include "gpu/gpu.hh"
+#include "gpu/multi_kernel.hh"
 #include "kernel/kernel_info.hh"
 #include "kernel/program_builder.hh"
 #include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "mem/interconnect.hh"
+#include "mem/mem_partition.hh"
 #include "mem/mshr.hh"
+#include "serve/predictor.hh"
+#include "serve/serve_trace.hh"
 #include "sim/check.hh"
 
 namespace bsched {
@@ -214,6 +225,137 @@ TEST(ContractViolations, DispatchPastEndOfGridFires)
     inst.nextCta = kernel.gridCtas(); // grid exhausted
     SimtCore core(config, 0);
     EXPECT_THROW(sched.dispatch(0, inst, core, 0), ContractViolation);
+}
+
+TEST(ContractViolations, DramPopWithoutResponseFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    DramChannel dram(DramConfig{}, 128, 1, "t");
+    ASSERT_FALSE(dram.responseReady(0));
+    EXPECT_THROW(dram.popResponse(0), ContractViolation);
+}
+
+TEST(ContractViolations, InterconnectPopWithoutRequestFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    Interconnect noc(GpuConfig::gtx480());
+    ASSERT_FALSE(noc.requestReady(0, 0));
+    EXPECT_THROW(noc.popRequest(0, 0), ContractViolation);
+}
+
+TEST(ContractViolations, InterconnectPopWithoutResponseFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    Interconnect noc(GpuConfig::gtx480());
+    ASSERT_FALSE(noc.responseReady(0, 0));
+    EXPECT_THROW(noc.popResponse(0, 0), ContractViolation);
+}
+
+TEST(ContractViolations, MemPartitionPopWithoutResponseFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    MemPartition partition(GpuConfig::gtx480(), 0);
+    ASSERT_FALSE(partition.responseReady());
+    EXPECT_THROW(partition.popResponse(), ContractViolation);
+}
+
+TEST(ContractViolations, DynctaTargetOutOfRangeFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    const GpuConfig config = GpuConfig::gtx480();
+    DynctaScheduler dyncta(config);
+    EXPECT_THROW(dyncta.target(config.numCores), ContractViolation);
+}
+
+TEST(ContractViolations, PredictorZeroRuntimeCompletionFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    RuntimePredictor predictor;
+    EXPECT_THROW(predictor.recordCompletion("w", 0), ContractViolation);
+}
+
+TEST(ContractViolations, PredictorAccuracyZeroActualFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    PredictorAccuracy accuracy;
+    EXPECT_THROW(accuracy.record("w", 100, 0), ContractViolation);
+}
+
+TEST(ContractViolations, ServeAuditOutOfOrderDecisionFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    ServeAudit audit;
+    ServeDecision decision;
+    decision.cycle = 10;
+    audit.record(decision);
+    decision.cycle = 5; // audit log must stay in cycle order
+    EXPECT_THROW(audit.record(decision), ContractViolation);
+}
+
+TEST(ContractViolations, LdstEmptyBatchFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    LdstUnit ldst(GpuConfig::gtx480(), 0);
+    EXPECT_THROW(ldst.pushBatch(0, 0, kNoReg, false, {}),
+                 ContractViolation);
+}
+
+TEST(ContractViolations, GpuDrainUnknownKernelFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    Gpu gpu(GpuConfig::gtx480());
+    EXPECT_THROW(gpu.requestDrain(0, true), ContractViolation);
+}
+
+TEST(ContractViolations, WarpSchedEmptyReadySetFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    const std::vector<int> ready;
+    const std::vector<Warp> warps;
+    LrrScheduler lrr;
+    EXPECT_THROW(lrr.pick(ready, warps), ContractViolation);
+    GtoScheduler gto;
+    EXPECT_THROW(gto.pick(ready, warps), ContractViolation);
+    TwoLevelScheduler two_level(8);
+    EXPECT_THROW(two_level.pick(ready, warps), ContractViolation);
+    BawsScheduler baws;
+    EXPECT_THROW(baws.pick(ready, warps), ContractViolation);
+}
+
+TEST(ContractViolations, IsolatedCacheZeroCycleInsertFires)
+{
+    SKIP_UNLESS_CHECKS();
+    ScopedContractThrows guard;
+    IsolatedCycleCache cache;
+    EXPECT_THROW(cache.insert(1, 0), ContractViolation);
+}
+
+// --- fast-forward soundness regressions ---------------------------------
+
+TEST(FfSoundness, GreedySchedulersDeclareEventDriven)
+{
+    // RoundRobin and Block opt into kCycleNever *explicitly* (the
+    // ff-soundness analysis pass rejects a silent inherit): their
+    // dispatch eligibility only changes on CTA completions, which end
+    // a fast-forwarded span anyway.
+    const GpuConfig config = GpuConfig::gtx480();
+    const std::vector<KernelInstance> kernels;
+    const CoreList cores;
+    RoundRobinCtaScheduler rr(config);
+    EXPECT_EQ(rr.nextEventCycle(0, kernels, cores), kCycleNever);
+    BlockCtaScheduler block(config);
+    EXPECT_EQ(block.nextEventCycle(123, kernels, cores), kCycleNever);
 }
 
 } // namespace

@@ -1,7 +1,7 @@
 /**
  * @file
- * Determinism regression tests backing tools/lint_determinism.py: the
- * containers the lint forced from unordered_map to std::map (MSHR
+ * Determinism regression tests backing the determinism pass of
+ * tools/analyze: the containers it forced from unordered_map to std::map (MSHR
  * outstanding set, BAWS per-block rotation) must not leak insertion /
  * encounter order into waiter lists, schedule decisions, or the
  * serialized bsched-run-v1 artifact.

@@ -1,0 +1,8 @@
+"""bsched static analysis suite.
+
+A multi-pass, project-specific linter for the simulator: each pass
+enforces one of the correctness conventions the evaluation rests on
+(bit-determinism, fast-forward soundness, contract coverage, observer
+guarding, schema agreement). See docs/STATIC_ANALYSIS.md for the pass
+catalog and ``python3 tools/analyze --help`` for usage.
+"""

@@ -1,0 +1,17 @@
+"""Entry point: ``python3 tools/analyze`` or ``python3 -m analyze``.
+
+Directory execution runs this file outside the package, so bootstrap
+the package import by putting tools/ on sys.path first.
+"""
+
+import sys
+
+if __package__ in (None, ""):
+    from pathlib import Path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+    from analyze.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

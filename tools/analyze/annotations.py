@@ -1,0 +1,41 @@
+"""GitHub Actions workflow-command annotations.
+
+Shared by ``tools/analyze`` and ``tools/bench_compare.py`` so flagged
+lines surface inline on pull requests with one formatting convention.
+Reference: GitHub's "Workflow commands for GitHub Actions" docs.
+"""
+
+from __future__ import annotations
+
+
+def _escape_data(value: str) -> str:
+    """Escape the free-text message part of a workflow command."""
+    return (value.replace("%", "%25")
+                 .replace("\r", "%0D")
+                 .replace("\n", "%0A"))
+
+
+def _escape_property(value: str) -> str:
+    """Escape a key=value property (title, file): data plus : and ,."""
+    return _escape_data(value).replace(":", "%3A").replace(",", "%2C")
+
+
+def format_annotation(severity: str, title: str, message: str,
+                      file: str | None = None,
+                      line: int | None = None) -> str:
+    """One ``::error``/``::warning``/``::notice`` workflow command."""
+    if severity not in ("error", "warning", "notice"):
+        raise ValueError(f"bad annotation severity: {severity!r}")
+    props = []
+    if file is not None:
+        props.append(f"file={_escape_property(file)}")
+        if line is not None and line > 0:
+            props.append(f"line={line}")
+    props.append(f"title={_escape_property(title)}")
+    return f"::{severity} {','.join(props)}::{_escape_data(message)}"
+
+
+def emit_annotation(severity: str, title: str, message: str,
+                    file: str | None = None,
+                    line: int | None = None) -> None:
+    print(format_annotation(severity, title, message, file, line))

@@ -1,0 +1,166 @@
+"""Command-line driver for the bsched static analysis suite.
+
+Runs the pass catalog over the sources the build compiles, filters
+findings through the audited allowlist, and reports:
+
+  exit 0  clean (possibly with audited suppressions)
+  exit 1  findings (or allowlist errors / stale entries)
+  exit 2  usage or configuration error
+
+``--github`` additionally emits workflow-command annotations so CI
+failures surface inline on the pull request; ``--artifact`` writes the
+deterministic ``bsched-analysis-v1`` findings JSON (written on success
+too, so CI can always upload it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .annotations import emit_annotation
+from .engine import (Allowlist, Context, EngineError, Finding,
+                     load_sources, write_artifact)
+from .passes import ALL_PASSES, known_rules
+
+DEFAULT_ALLOWLIST = "tools/analyze/allowlist.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tools/analyze",
+        description="multi-pass static analysis enforcing the "
+                    "simulator's correctness conventions",
+    )
+    parser.add_argument(
+        "--build-dir", type=Path, default=Path("build"),
+        help="build tree containing compile_commands.json "
+             "(default: build)",
+    )
+    parser.add_argument(
+        "--repo", type=Path,
+        default=Path(__file__).resolve().parent.parent.parent,
+        help="repository root (default: the tree containing this "
+             "script)",
+    )
+    parser.add_argument(
+        "--allowlist", type=Path, default=None,
+        help=f"allowlist file (default: {DEFAULT_ALLOWLIST})",
+    )
+    parser.add_argument(
+        "--passes", default=None, metavar="NAME[,NAME...]",
+        help="run only these passes (default: all; stale-allowlist "
+             "detection is skipped for partial runs)",
+    )
+    parser.add_argument(
+        "--artifact", type=Path, default=None,
+        help="write the bsched-analysis-v1 findings JSON here",
+    )
+    parser.add_argument(
+        "--github", action="store_true",
+        help="emit ::error workflow-command annotations per finding",
+    )
+    parser.add_argument(
+        "--list-files", action="store_true",
+        help="print the files that would be scanned and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the pass/rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for pass_module in ALL_PASSES:
+            for suffix, doc in pass_module.RULES.items():
+                print(f"{pass_module.NAME}.{suffix}: {doc}")
+        return 0
+
+    repo = args.repo.resolve()
+    build_dir = (args.build_dir if args.build_dir.is_absolute()
+                 else repo / args.build_dir)
+    allowlist_path = (args.allowlist if args.allowlist is not None
+                      else repo / DEFAULT_ALLOWLIST)
+
+    selected = ALL_PASSES
+    if args.passes is not None:
+        wanted = [name.strip() for name in args.passes.split(",")
+                  if name.strip()]
+        by_name = {p.NAME: p for p in ALL_PASSES}
+        unknown = [name for name in wanted if name not in by_name]
+        if unknown:
+            print(f"error: unknown pass(es): {', '.join(unknown)} "
+                  f"(known: {', '.join(by_name)})", file=sys.stderr)
+            return 2
+        selected = [by_name[name] for name in wanted]
+
+    try:
+        files = load_sources(build_dir, repo)
+    except EngineError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.list_files:
+        for src in files:
+            print(src.rel)
+        return 0
+
+    ctx = Context(repo, build_dir, files)
+    allowlist = Allowlist(allowlist_path, repo, known_rules())
+
+    findings: list[Finding] = []
+    suppressed = 0
+    for pass_module in selected:
+        for finding in pass_module.run(ctx):
+            if allowlist.allows(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+
+    allowlist_rel = (allowlist_path.relative_to(repo).as_posix()
+                     if allowlist_path.is_relative_to(repo)
+                     else str(allowlist_path))
+    for error in allowlist.errors:
+        findings.append(Finding(
+            file=allowlist_rel, line=0, rule="allowlist.invalid",
+            message=error,
+        ))
+    if len(selected) == len(ALL_PASSES):
+        for rel, rule in allowlist.stale():
+            findings.append(Finding(
+                file=allowlist_rel, line=0, rule="allowlist.stale",
+                message=f"entry '{rel} {rule}' matches nothing — "
+                        "remove it (the allowlist only shrinks)",
+            ))
+
+    findings.sort()
+    pass_names = [p.NAME for p in selected]
+    if args.artifact is not None:
+        write_artifact(args.artifact, pass_names, len(files), findings,
+                       suppressed)
+
+    if findings:
+        print(f"analyze: {len(findings)} finding(s) in {len(files)} "
+              f"file(s) [{', '.join(pass_names)}]:")
+        for finding in findings:
+            print(f"  {finding.render()}")
+            if args.github:
+                emit_annotation("error", finding.rule, finding.message,
+                                file=finding.file,
+                                line=finding.line or None)
+        print(
+            "\nFix the source (preferred), or add an audited entry to\n"
+            f"{allowlist_rel} with a justification — see "
+            "docs/STATIC_ANALYSIS.md."
+        )
+        return 1
+
+    print(f"analyze: clean — {len(files)} file(s), "
+          f"{len(pass_names)} pass(es), {suppressed} audited "
+          "suppression(s)")
+    return 0

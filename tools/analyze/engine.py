@@ -1,0 +1,215 @@
+"""Shared engine for the bsched static analysis suite.
+
+Provides what every pass needs and no pass should reimplement:
+
+ - file discovery from the CMake compilation database plus a header
+   glob, so passes always see exactly what the build compiles;
+ - comment/string stripping that preserves line numbers;
+ - the ``Finding`` record and its deterministic ordering;
+ - the audited allowlist (per-file, per-rule, justification mandatory,
+   stale entries rejected);
+ - the deterministic ``bsched-analysis-v1`` findings artifact.
+
+Passes are plain modules exposing ``NAME`` (the pass name), ``RULES``
+(dict of rule suffix -> one-line description; the full rule name is
+``<NAME>.<suffix>``) and ``run(ctx) -> list[Finding]``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+
+class EngineError(Exception):
+    """Usage/configuration error: exit status 2, not a finding."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``file`` is repo-relative (posix separators); ``line`` is 1-based,
+    0 for whole-file findings. ``rule`` is the namespaced
+    ``<pass>.<rule>`` name the allowlist keys on.
+    """
+
+    file: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        loc = f"{self.file}:{self.line}" if self.line else self.file
+        return f"{loc}: {self.rule}: {self.message}"
+
+
+COMMENT_STRING_RE = re.compile(
+    r"""
+      //[^\n]*            # line comment
+    | /\*.*?\*/           # block comment
+    | "(?:\\.|[^"\\])*"   # string literal
+    | '(?:\\.|[^'\\])*'   # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and literals, preserving line numbers."""
+
+    def blank(match: re.Match[str]) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return COMMENT_STRING_RE.sub(blank, text)
+
+
+def line_at(text: str, offset: int) -> int:
+    """1-based line number of character ``offset`` in ``text``."""
+    return text.count("\n", 0, offset) + 1
+
+
+class SourceFile:
+    """One scanned source file: raw text plus a lazily stripped view.
+
+    Passes match code structure against ``stripped`` (comments and
+    string literals blanked, line numbers preserved) and extract string
+    literals — stat names, JSON keys — from ``raw``.
+    """
+
+    def __init__(self, path: Path, repo: Path):
+        self.path = path
+        self.rel = path.relative_to(repo).as_posix()
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self._stripped: str | None = None
+
+    @property
+    def stripped(self) -> str:
+        if self._stripped is None:
+            self._stripped = strip_comments_and_strings(self.raw)
+        return self._stripped
+
+
+def load_sources(build_dir: Path, repo: Path) -> list[SourceFile]:
+    """Compiled src/ translation units plus all src/ headers."""
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        raise EngineError(
+            f"{db_path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the default preset "
+            "does) or pass --build-dir"
+        )
+    src_root = (repo / "src").resolve()
+    paths: set[Path] = set()
+    for entry in json.loads(db_path.read_text()):
+        path = Path(entry["file"])
+        if not path.is_absolute():
+            path = Path(entry["directory"]) / path
+        path = path.resolve()
+        if src_root in path.parents:
+            paths.add(path)
+    paths.update(p.resolve() for p in src_root.rglob("*.hh"))
+    return [SourceFile(p, repo) for p in sorted(paths)]
+
+
+class Context:
+    """Everything a pass may consult: scanned sources plus repo files
+    outside the compilation database (docs, tests, bench baselines)."""
+
+    def __init__(self, repo: Path, build_dir: Path,
+                 files: list[SourceFile]):
+        self.repo = repo
+        self.build_dir = build_dir
+        self.files = files
+        self._extra: dict[str, str | None] = {}
+
+    def in_dirs(self, *prefixes: str) -> list[SourceFile]:
+        """Scanned files whose repo-relative path starts with a prefix."""
+        return [f for f in self.files
+                if any(f.rel.startswith(p) for p in prefixes)]
+
+    def read(self, rel: str) -> str | None:
+        """Text of a repo file outside the scan set; None if absent."""
+        if rel not in self._extra:
+            path = self.repo / rel
+            self._extra[rel] = (
+                path.read_text(encoding="utf-8", errors="replace")
+                if path.is_file() else None)
+        return self._extra[rel]
+
+    def glob(self, pattern: str) -> list[Path]:
+        return sorted(self.repo.glob(pattern))
+
+
+class Allowlist:
+    """Audited exceptions: ``<path> <pass.rule> <justification...>``.
+
+    The justification is mandatory, the rule must exist, the file must
+    exist, and every entry must suppress at least one finding — a
+    stale entry is itself an error, so the list can only shrink as the
+    code improves.
+    """
+
+    def __init__(self, path: Path, repo: Path, known_rules: set[str]):
+        self.path = path
+        self.entries: dict[tuple[str, str], str] = {}
+        self.used: set[tuple[str, str]] = set()
+        self.errors: list[str] = []
+        if not path.is_file():
+            return
+        for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split(None, 2)
+            if len(parts) < 3:
+                self.errors.append(
+                    f"{path.name}:{lineno}: allowlist entry needs "
+                    "'<path> <pass.rule> <justification>'"
+                )
+                continue
+            rel, rule, justification = parts
+            if rule not in known_rules:
+                self.errors.append(
+                    f"{path.name}:{lineno}: unknown rule '{rule}' "
+                    f"(known: {', '.join(sorted(known_rules))})"
+                )
+                continue
+            if not (repo / rel).is_file():
+                self.errors.append(
+                    f"{path.name}:{lineno}: allowlisted file '{rel}' "
+                    "does not exist"
+                )
+                continue
+            self.entries[(rel, rule)] = justification
+
+    def allows(self, finding: Finding) -> bool:
+        key = (finding.file, finding.rule)
+        if key in self.entries:
+            self.used.add(key)
+            return True
+        return False
+
+    def stale(self) -> list[tuple[str, str]]:
+        return sorted(set(self.entries) - self.used)
+
+
+def write_artifact(path: Path, passes: list[str], files_scanned: int,
+                   findings: list[Finding], suppressed: int) -> None:
+    """Deterministic ``bsched-analysis-v1`` findings artifact: sorted
+    findings, no timestamps or absolute paths — byte-identical for
+    identical inputs."""
+    doc = {
+        "schema": "bsched-analysis-v1",
+        "passes": passes,
+        "files_scanned": files_scanned,
+        "suppressed": suppressed,
+        "findings": [
+            {"file": f.file, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in sorted(findings)
+        ],
+    }
+    path.write_text(json.dumps(doc, indent=2) + "\n")

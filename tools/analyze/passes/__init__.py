@@ -1,0 +1,18 @@
+"""The pass catalog, in the order passes run and report."""
+
+from __future__ import annotations
+
+from . import (contract_coverage, determinism, ff_soundness,
+               observer_guards, schema_drift)
+
+ALL_PASSES = [
+    determinism,
+    ff_soundness,
+    contract_coverage,
+    observer_guards,
+    schema_drift,
+]
+
+
+def known_rules() -> set[str]:
+    return {f"{p.NAME}.{suffix}" for p in ALL_PASSES for suffix in p.RULES}

@@ -1,0 +1,109 @@
+"""contract-coverage — conservation laws need contracts, contracts need tests.
+
+PR 4's contract layer (BSCHED_CHECK / BSCHED_INVARIANT / BSCHED_DCHECK)
+is the safety net that makes aggressive refactors cheap — but only
+where it exists and only if each instrumented module has a test proving
+its contracts actually fire. Two census rules over the model modules
+(``src/{core,cta,mem,gpu,serve}``):
+
+ - a module whose public surface mutates state but that carries zero
+   contract macros is flagged (``uncovered-module``);
+ - a module that *has* contracts but is not exercised by any test file
+   using ``ScopedContractThrows`` is flagged (``untested-contract``) —
+   an injected-violation test per module is the repo convention
+   (tests/test_contracts.cc).
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+
+from ..engine import Context, Finding, line_at
+
+NAME = "contract-coverage"
+
+RULES = {
+    "uncovered-module": "module has state-mutating public methods but "
+                        "no BSCHED_CHECK/INVARIANT/DCHECK contracts; "
+                        "add a precondition or invariant (or allowlist "
+                        "with the reason it is exempt)",
+    "untested-contract": "module has contract macros but no test file "
+                         "includes its header and uses "
+                         "ScopedContractThrows; add an injected-"
+                         "violation test to tests/test_contracts.cc",
+}
+
+SCOPE = ("src/core/", "src/cta/", "src/mem/", "src/gpu/", "src/serve/")
+
+CONTRACT_RE = re.compile(r"\bBSCHED_(?:CHECK|INVARIANT|DCHECK)\s*\(")
+
+# Heuristic for a state-mutating public method *declaration*: a
+# mutation-verb method name not reached through ./->/:: (which would be
+# a call on another object).
+MUTATOR_RE = re.compile(
+    r"(?<![\w.>:])(?:push\w*|pop\w*|set[A-Z]\w*|record\w*|insert\w*|"
+    r"erase\w*|advance\w*|tick|step|release\w*|acquire\w*|dispatch\w*|"
+    r"launch\w*|commit\w*|retire\w*|note[A-Z]\w*|update\w*|clear|reset|"
+    r"enqueue\w*|dequeue\w*|send[A-Z]\w*|merge\w*|fill|flush|alloc\w*|"
+    r"add[A-Z]\w*|notify[A-Z]\w*|request[A-Z]\w*)\s*\("
+)
+
+
+def run(ctx: Context) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # Group scanned files into modules by directory + stem:
+    # src/mem/dram.{hh,cc} is one module.
+    modules: dict[str, list] = defaultdict(list)
+    for src in ctx.in_dirs(*SCOPE):
+        stem = re.sub(r"\.(hh|cc)$", "", src.rel)
+        modules[stem].append(src)
+
+    # Which module headers does the test suite exercise under
+    # ScopedContractThrows?
+    armed_includes: set[str] = set()
+    for path in ctx.glob("tests/*.cc"):
+        text = path.read_text(encoding="utf-8", errors="replace")
+        if "ScopedContractThrows" not in text:
+            continue
+        armed_includes.update(
+            re.findall(r'#include\s+"([^"]+)"', text))
+
+    for stem in sorted(modules):
+        files = sorted(modules[stem], key=lambda s: s.rel)
+        contracts: list[tuple[str, int]] = []
+        for src in files:
+            for match in CONTRACT_RE.finditer(src.stripped):
+                contracts.append(
+                    (src.rel, line_at(src.stripped, match.start())))
+
+        header = next((s for s in files if s.rel.endswith(".hh")), None)
+        if not contracts:
+            if header is None:
+                continue
+            match = MUTATOR_RE.search(header.stripped)
+            if match:
+                findings.append(Finding(
+                    file=header.rel,
+                    line=line_at(header.stripped, match.start()),
+                    rule=f"{NAME}.uncovered-module",
+                    message=f"module {stem} declares "
+                            f"'{match.group(0).rstrip('(').strip()}()' "
+                            "but carries zero contract macros — "
+                            + RULES["uncovered-module"],
+                ))
+            continue
+
+        include = stem.removeprefix("src/") + ".hh"
+        if include not in armed_includes:
+            rel, line = contracts[0]
+            findings.append(Finding(
+                file=rel, line=line,
+                rule=f"{NAME}.untested-contract",
+                message=f"module {stem} has {len(contracts)} contract "
+                        f"macro(s) but no test file includes "
+                        f"\"{include}\" and uses ScopedContractThrows "
+                        "— " + RULES["untested-contract"],
+            ))
+    return findings

@@ -1,0 +1,75 @@
+"""determinism — reject nondeterminism sources in model code.
+
+The whole evaluation rests on the simulator being bit-deterministic:
+the same configuration must produce byte-identical ``bsched-*-v1``
+artifacts for any ``--jobs`` count, machine and process invocation.
+This pass rejects, at the source level, the nondeterminism sources
+that have bitten timing simulators before they can reach a schedule
+decision or an emitted artifact.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Finding, line_at
+
+NAME = "determinism"
+
+RULES = {
+    "rand": "rand()/srand()/std::random_device/std::mt19937 — model "
+            "code must draw randomness from the seeded bsched::Rng "
+            "(sim/rng.hh)",
+    "wall-clock": "time()/clock()/gettimeofday/clock_gettime/"
+                  "std::chrono clocks — wall-clock values differ per "
+                  "run; anything derived from them is nondeterministic "
+                  "by construction",
+    "unordered-container": "std::unordered_map/set iteration order "
+                           "follows the hash function and libc++/"
+                           "libstdc++ disagree; use ordered containers "
+                           "or sort before iterating",
+    "pointer-keyed-container": "std::map/set keyed by a pointer type "
+                               "is ordered by allocation address, "
+                               "which ASLR randomizes per process",
+    "atomic-float": "std::atomic<float|double> cross-thread "
+                    "accumulation commits in nondeterministic order "
+                    "and float addition does not associate",
+}
+
+PATTERNS = {
+    "rand": re.compile(
+        r"\bsrand\s*\(|(?<![:\w])rand\s*\(|std::random_device"
+        r"|std::mt19937|\bdrand48\b|\blrand48\b"
+    ),
+    "wall-clock": re.compile(
+        r"std::chrono::(system_clock|steady_clock|high_resolution_clock)"
+        r"|\bgettimeofday\s*\(|\bclock_gettime\s*\("
+        r"|(?<![:\w.>])time\s*\(\s*(NULL|nullptr|0)?\s*\)"
+        r"|(?<![:\w.>])clock\s*\(\s*\)"
+    ),
+    "unordered-container": re.compile(
+        r"std::unordered_(map|set|multimap|multiset)\b"
+    ),
+    "pointer-keyed-container": re.compile(
+        r"std::(map|set)\s*<\s*(const\s+)?[\w:]+\s*\*"
+    ),
+    "atomic-float": re.compile(
+        r"std::atomic\s*<\s*(float|double|long\s+double)\b"
+    ),
+}
+
+
+def run(ctx: Context) -> list[Finding]:
+    findings: list[Finding] = []
+    for src in ctx.files:
+        text = src.stripped
+        for rule, pattern in PATTERNS.items():
+            for match in pattern.finditer(text):
+                findings.append(Finding(
+                    file=src.rel,
+                    line=line_at(text, match.start()),
+                    rule=f"{NAME}.{rule}",
+                    message=f"'{match.group(0).strip()}' — "
+                            f"{RULES[rule]}",
+                ))
+    return findings

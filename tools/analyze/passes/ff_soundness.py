@@ -1,0 +1,127 @@
+"""ff-soundness — every idle-elidable component must bound its next event.
+
+Idle fast-forward (PR 6) is only sound if the minimum taken in
+``Gpu::fastForward()`` is a true lower bound on the next observable
+event. That property is distributed: every component whose tick/step
+mutates model state must expose a ``nextEventCycle``/``nextWorkCycle``
+estimate, and every CTA-scheduler subclass must *explicitly* override
+``nextEventCycle`` — silently inheriting the base's kCycleNever means
+nobody decided whether the policy has time-driven deadlines, which is
+exactly how a new policy's windows get skipped over.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import Context, Finding, line_at
+
+NAME = "ff-soundness"
+
+RULES = {
+    "missing-next-event": "class declares a state-mutating tick()/"
+                          "step() but neither nextEventCycle() nor "
+                          "nextWorkCycle(); idle fast-forward cannot "
+                          "bound its next observable event",
+    "inherited-never": "CtaScheduler subclass does not override "
+                       "nextEventCycle(); it silently inherits "
+                       "kCycleNever — override it explicitly (return "
+                       "kCycleNever with a justifying comment if the "
+                       "policy is purely event-driven)",
+}
+
+# The scheduler base whose default (kCycleNever) must not be inherited
+# silently.
+SCHEDULER_BASE = "CtaScheduler"
+
+CLASS_RE = re.compile(
+    r"\b(?:class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?"
+    r"(:\s*[^;{]*)?\{"
+)
+
+# A tick/step *declaration* (bool/void return as the codebase writes
+# them), as opposed to a call site like ``dram_.tick(now)``.
+TICK_DECL_RE = re.compile(r"\b(?:bool|void)\s+(?:tick|step)\s*\(")
+
+NEXT_EVENT_RE = re.compile(r"\bnext(?:Event|Work)Cycle\s*\(")
+
+
+def _class_bodies(text: str):
+    """Yield (name, bases, body, offset) for each class in ``text``.
+
+    ``text`` must already be comment/string-stripped. Bodies are
+    extracted by brace matching from the class-opening brace.
+    """
+    for match in CLASS_RE.finditer(text):
+        name = match.group(1)
+        base_clause = match.group(2) or ""
+        bases = re.findall(r"[A-Za-z_]\w*(?=\s*(?:,|$|\{))",
+                           base_clause.rstrip("{").strip())
+        bases = [b for b in bases
+                 if b not in ("public", "private", "protected",
+                              "virtual", "final")]
+        depth = 0
+        start = match.end() - 1
+        end = start
+        for pos in range(start, len(text)):
+            if text[pos] == "{":
+                depth += 1
+            elif text[pos] == "}":
+                depth -= 1
+                if depth == 0:
+                    end = pos
+                    break
+        yield name, bases, text[start:end + 1], match.start()
+
+
+def run(ctx: Context) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # First sweep: collect every class declaration in model headers so
+    # derivation from the scheduler base resolves transitively.
+    classes: dict[str, tuple[str, int, str, list[str]]] = {}
+    for src in ctx.in_dirs("src/"):
+        if not src.rel.endswith(".hh"):
+            continue
+        for name, bases, body, offset in _class_bodies(src.stripped):
+            classes[name] = (src.rel, line_at(src.stripped, offset),
+                             body, bases)
+
+    def derives_from(name: str, base: str) -> bool:
+        seen: set[str] = set()
+        work = list(classes[name][3]) if name in classes else []
+        while work:
+            cur = work.pop()
+            if cur == base:
+                return True
+            if cur in seen or cur not in classes:
+                continue
+            seen.add(cur)
+            work.extend(classes[cur][3])
+        return False
+
+    for name, (rel, line, body, bases) in sorted(classes.items()):
+        if not rel.startswith(("src/core/", "src/cta/", "src/mem/",
+                               "src/gpu/", "src/serve/")):
+            continue
+        if derives_from(name, SCHEDULER_BASE):
+            if not NEXT_EVENT_RE.search(body):
+                findings.append(Finding(
+                    file=rel, line=line,
+                    rule=f"{NAME}.inherited-never",
+                    message=f"{name} derives from {SCHEDULER_BASE} but "
+                            "does not override nextEventCycle() — "
+                            + RULES["inherited-never"],
+                ))
+        elif not bases:
+            # Standalone components: a tick/step declaration needs a
+            # matching next-event estimate in the same class. Derived
+            # classes are covered by the scheduler rule above; bases
+            # with virtual tick declare the estimate themselves.
+            if TICK_DECL_RE.search(body) and not NEXT_EVENT_RE.search(body):
+                findings.append(Finding(
+                    file=rel, line=line,
+                    rule=f"{NAME}.missing-next-event",
+                    message=f"{name}: " + RULES["missing-next-event"],
+                ))
+    return findings

@@ -1,0 +1,166 @@
+"""schema-drift — C++ emitters and committed schemas must agree.
+
+Every stat, sampler series and artifact key is part of a contract:
+docs/OBSERVABILITY.md and docs/SERVING.md document the names analysts
+consume, and the committed ``bench/BENCH_*.json`` baselines byte-gate
+the writers in CI. A name added in C++ but not in the docs is invisible
+to consumers; a name documented but no longer emitted is a silent lie;
+a JSON key a writer emits that the committed baseline lacks means the
+baseline predates the writer and the byte-gate is about to fire — or
+worse, was refreshed without review.
+
+Three cross-checks:
+
+ - sampler series literals (``record("...")``) vs the ``| series |``
+   tables in docs/OBSERVABILITY.md, both directions;
+ - ``serve.*`` StatSet literals (``set("serve...")``) vs the
+   ``| stat |`` tables in docs/SERVING.md, both directions;
+ - escaped JSON keys in artifact writers vs the key set of the
+   committed bench baseline with the same ``schema`` string (writer
+   direction only — baselines legitimately contain dynamic keys such
+   as workload names).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from ..engine import Context, Finding, line_at
+
+NAME = "schema-drift"
+
+RULES = {
+    "undocumented-series": "sampler series recorded in C++ but absent "
+                           "from the series tables in "
+                           "docs/OBSERVABILITY.md",
+    "stale-series-doc": "series documented in docs/OBSERVABILITY.md "
+                        "but no longer recorded anywhere in src/",
+    "undocumented-stat": "serve.* stat set in C++ but absent from the "
+                         "stat tables in docs/SERVING.md",
+    "stale-stat-doc": "serve.* stat documented in docs/SERVING.md but "
+                      "no longer set anywhere in src/",
+    "unbaselined-json-key": "artifact writer emits a JSON key absent "
+                            "from its committed bench/BENCH_*.json "
+                            "baseline; refresh the baseline (and "
+                            "docs) with the schema change",
+}
+
+SERIES_RE = re.compile(r"\brecord\(\s*\"([a-z][\w.]*)\"")
+SERVE_STAT_RE = re.compile(r"\bset\(\s*\"(serve\.[\w.]*)\"")
+JSON_KEY_RE = re.compile(r'\\"([a-z_][\w.]*)\\":')
+
+OBSERVABILITY_DOC = "docs/OBSERVABILITY.md"
+SERVING_DOC = "docs/SERVING.md"
+
+
+def _table_names(doc_text: str, header_cell: str) -> dict[str, int]:
+    """Names from the first column of markdown tables whose first
+    header cell is ``header_cell``; maps name -> 1-based doc line.
+
+    A cell may document several names at once (```a` / `b```).
+    """
+    names: dict[str, int] = {}
+    in_table = False
+    for lineno, line in enumerate(doc_text.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            in_table = False
+            continue
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        if not cells:
+            continue
+        if cells[0] == header_cell:
+            in_table = True
+            continue
+        if not in_table or set(cells[0]) <= {"-", ":", " "}:
+            continue
+        for name in cells[0].split("/"):
+            name = name.strip().strip("`").strip()
+            if re.fullmatch(r"[a-z][\w]*(?:\.[\w.]+)+", name):
+                names.setdefault(name, lineno)
+    return names
+
+
+def run(ctx: Context) -> list[Finding]:
+    findings: list[Finding] = []
+
+    obs_doc = ctx.read(OBSERVABILITY_DOC) or ""
+    serving_doc = ctx.read(SERVING_DOC) or ""
+    documented_series = _table_names(obs_doc, "series")
+    documented_stats = _table_names(serving_doc, "stat")
+
+    recorded_series: dict[str, tuple[str, int]] = {}
+    set_stats: dict[str, tuple[str, int]] = {}
+    for src in ctx.in_dirs("src/"):
+        for match in SERIES_RE.finditer(src.raw):
+            recorded_series.setdefault(
+                match.group(1), (src.rel, line_at(src.raw, match.start())))
+        for match in SERVE_STAT_RE.finditer(src.raw):
+            set_stats.setdefault(
+                match.group(1), (src.rel, line_at(src.raw, match.start())))
+
+    for name in sorted(set(recorded_series) - set(documented_series)):
+        rel, line = recorded_series[name]
+        findings.append(Finding(
+            file=rel, line=line, rule=f"{NAME}.undocumented-series",
+            message=f"series '{name}' — " + RULES["undocumented-series"],
+        ))
+    for name in sorted(set(documented_series) - set(recorded_series)):
+        findings.append(Finding(
+            file=OBSERVABILITY_DOC, line=documented_series[name],
+            rule=f"{NAME}.stale-series-doc",
+            message=f"series '{name}' — " + RULES["stale-series-doc"],
+        ))
+
+    for name in sorted(set(set_stats) - set(documented_stats)):
+        rel, line = set_stats[name]
+        findings.append(Finding(
+            file=rel, line=line, rule=f"{NAME}.undocumented-stat",
+            message=f"stat '{name}' — " + RULES["undocumented-stat"],
+        ))
+    for name in sorted(set(documented_stats) - set(set_stats)):
+        findings.append(Finding(
+            file=SERVING_DOC, line=documented_stats[name],
+            rule=f"{NAME}.stale-stat-doc",
+            message=f"stat '{name}' — " + RULES["stale-stat-doc"],
+        ))
+
+    # Writer JSON keys vs the committed baseline of the same schema.
+    baselines: dict[str, set[str]] = {}
+    for path in ctx.glob("bench/BENCH_*.json"):
+        try:
+            doc = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+        keys: set[str] = set()
+
+        def collect(node, keys=keys):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    keys.add(key)
+                    collect(value)
+            elif isinstance(node, list):
+                for value in node:
+                    collect(value)
+
+        collect(doc)
+        schema = doc.get("schema")
+        if isinstance(schema, str):
+            baselines[schema] = keys
+
+    for src in ctx.in_dirs("src/"):
+        for schema, keys in sorted(baselines.items()):
+            if schema not in src.raw:
+                continue
+            for match in JSON_KEY_RE.finditer(src.raw):
+                key = match.group(1)
+                if key not in keys:
+                    findings.append(Finding(
+                        file=src.rel,
+                        line=line_at(src.raw, match.start()),
+                        rule=f"{NAME}.unbaselined-json-key",
+                        message=f"key '{key}' (schema {schema}) — "
+                                + RULES["unbaselined-json-key"],
+                    ))
+    return findings

@@ -65,6 +65,10 @@ import json
 import sys
 from pathlib import Path
 
+# Shared GitHub workflow-command formatting with tools/analyze.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from analyze.annotations import emit_annotation  # noqa: E402
+
 KNOWN_SCHEMAS = ("bsched-simspeed-v1", "bsched-bench-v1",
                  "bsched-serving-v1", "bsched-servetrace-v1")
 
@@ -418,7 +422,7 @@ def main() -> int:
         for line in cmp.flagged:
             print(f"  ! {line}")
             if args.github:
-                print(f"::{severity} title=bench regression::{line}")
+                emit_annotation(severity, "bench regression", line)
         return 0 if args.warn_only else 1
 
     print(f"bench compare: OK — {len(cmp.lines)} metric(s) within "
