@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "obs/mem_profile.hh"
+#include "obs/phase/phase.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -73,6 +74,10 @@ parseArgs(int argc, char** argv)
             opts.serveTracePath = next("--serve-trace");
         } else if (std::strncmp(arg, "--serve-trace=", 14) == 0) {
             opts.serveTracePath = arg + 14;
+        } else if (std::strcmp(arg, "--phase") == 0) {
+            opts.phasePath = next("--phase");
+        } else if (std::strncmp(arg, "--phase=", 8) == 0) {
+            opts.phasePath = arg + 8;
         } else if (std::strcmp(arg, "--progress") == 0) {
             opts.progress = true;
         } else if (std::strcmp(arg, "--no-fast-forward") == 0) {
@@ -98,8 +103,8 @@ parseArgs(int argc, char** argv)
             fatal("unknown argument '", arg,
                   "' (figures accept --jobs N, --trace FILE, "
                   "--profile FILE, --mem-profile FILE, --serve-trace FILE, "
-                  "--emit-json FILE, --sample-every N, --progress, "
-                  "--no-fast-forward, --log LEVEL)");
+                  "--phase FILE, --emit-json FILE, --sample-every N, "
+                  "--progress, --no-fast-forward, --log LEVEL)");
         }
     }
     opts.jobs = resolveJobs(requested);
@@ -173,7 +178,8 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
     const bool want_trace = !opts.tracePath.empty();
     const bool want_profile = !opts.profilePath.empty();
     const bool want_mem = !opts.memProfilePath.empty();
-    if (!want_trace && !want_profile && !want_mem)
+    const bool want_phase = !opts.phasePath.empty();
+    if (!want_trace && !want_profile && !want_mem && !want_phase)
         return;
 
     const Cycle period =
@@ -182,6 +188,7 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
     IntervalSampler sampler(period);
     CycleProfiler profiler;
     MemProfiler mem_profiler;
+    PhaseTelemetry phase;
     Observer obs;
     if (want_trace) {
         obs.tracer = &tracer;
@@ -189,8 +196,13 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
     }
     if (want_profile)
         obs.profiler = &profiler;
-    if (want_mem)
+    // --phase rides the memory profiler so the exported windows carry
+    // the interference channels; the detectors themselves never read
+    // them, so boundaries match a phase-only attachment.
+    if (want_mem || want_phase)
         obs.memProfiler = &mem_profiler;
+    if (want_phase)
+        obs.phase = &phase;
     runKernel(config, kernel, obs);
 
     if (want_trace) {
@@ -224,6 +236,17 @@ writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
                      opts.memProfilePath.c_str(), bytes, label.c_str(),
                      static_cast<unsigned long long>(
                          mem_profiler.completedRequests()));
+    }
+    if (want_phase) {
+        const std::size_t bytes =
+            writeFile(opts.phasePath, [&](std::ostream& os) {
+                writePhaseJson(os, phase, label);
+            });
+        std::fprintf(stderr, "wrote %s (%zu bytes, %s, %zu windows, "
+                             "%zu phases)\n",
+                     opts.phasePath.c_str(), bytes, label.c_str(),
+                     phase.metrics().windows(),
+                     phase.machine().phases().size());
     }
 }
 

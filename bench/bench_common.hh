@@ -1,8 +1,9 @@
 /**
  * @file
  * Shared scaffolding for the figure/table binaries: the common command
- * line (--jobs, --trace, --profile, --mem-profile, --emit-json,
- * --sample-every, --progress, --log) and the workload × config grid
+ * line (--jobs, --trace, --profile, --mem-profile, --phase,
+ * --emit-json, --sample-every, --progress, --log) and the workload ×
+ * config grid
  * runner every sweep figure uses instead of hand-rolled serial loops.
  *
  * All figures accept `--jobs N` (also `--jobs=N` / `-jN`) or the
@@ -49,6 +50,10 @@ struct BenchOptions
      *  audit of the canonical serving run. */
     std::string serveTracePath;
 
+    /** --phase FILE: write a `bsched-phase-v1` windowed phase-telemetry
+     *  report of one representative run. */
+    std::string phasePath;
+
     /** --sample-every N: interval-sampler period for the traced run. */
     Cycle sampleEvery = 0;
 
@@ -59,7 +64,8 @@ struct BenchOptions
 /**
  * Parse the shared bench command line. Recognizes "--jobs N" /
  * "--jobs=N" / "-jN", "--trace FILE", "--profile FILE",
- * "--mem-profile FILE", "--emit-json FILE", "--sample-every N",
+ * "--mem-profile FILE", "--phase FILE", "--emit-json FILE",
+ * "--sample-every N",
  * "--progress" (also the BSCHED_PROGRESS environment variable),
  * "--no-fast-forward" (force plain cycle-by-cycle stepping; results
  * are byte-identical either way) and "--log LEVEL" (also BSCHED_LOG);
@@ -78,16 +84,19 @@ unsigned parseJobs(int argc, char** argv);
 void writeReport(const BenchOptions& opts, const BenchReport& report);
 
 /**
- * Honour --trace, --profile and --mem-profile: re-run one
+ * Honour --trace, --profile, --mem-profile and --phase: re-run one
  * representative simulation point with the requested observers
  * attached — a Tracer plus an IntervalSampler (period --sample-every,
  * default 512) for --trace, a CycleProfiler for --profile, a
- * MemProfiler for --mem-profile — and write the Chrome trace JSON to
- * opts.tracePath, the `bsched-profile-v1` JSON to opts.profilePath
- * and/or the `bsched-memprofile-v1` JSON to opts.memProfilePath. When
- * several are requested the same single re-run feeds all artifacts.
- * No-op when no flag was given; the re-run is serial and separate from
- * the measured grid, so artifacts never perturb the parallel sweep.
+ * MemProfiler for --mem-profile, a PhaseTelemetry (plus a MemProfiler
+ * for the interference channels) for --phase — and write the Chrome
+ * trace JSON to opts.tracePath, the `bsched-profile-v1` JSON to
+ * opts.profilePath, the `bsched-memprofile-v1` JSON to
+ * opts.memProfilePath and/or the `bsched-phase-v1` JSON to
+ * opts.phasePath. When several are requested the same single re-run
+ * feeds all artifacts. No-op when no flag was given; the re-run is
+ * serial and separate from the measured grid, so artifacts never
+ * perturb the parallel sweep.
  */
 void writeRunArtifacts(const BenchOptions& opts, const GpuConfig& config,
                        const KernelInfo& kernel, const std::string& label);

@@ -13,8 +13,9 @@
  *
  * `--emit-json FILE` additionally writes a `bsched-simspeed-v1`
  * artifact: the sim rate of the small kernel bare, with the
- * tracer+sampler stack, with the cycle-accounting profiler, and with
- * the request-level memory profiler; a serving-engine pair with and
+ * tracer+sampler stack, with the cycle-accounting profiler, with the
+ * request-level memory profiler, and with the phase telemetry; a
+ * serving-engine pair with and
  * without the decision audit attached (serve_plain/servetraced); plus
  * a `fast_forward` section timing an idle-heavy and a fully-busy
  * microkernel with idle fast-forward on and off. The committed
@@ -43,6 +44,7 @@
 #include "kernel/program_builder.hh"
 #include "mem/cache.hh"
 #include "obs/mem_profile.hh"
+#include "obs/phase/phase.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/sink.hh"
@@ -339,6 +341,7 @@ enum class ObsMode
     Observed,    ///< tracer + interval sampler (as --trace runs)
     Profiled,    ///< cycle-accounting profiler only (as --profile runs)
     MemProfiled, ///< memory profiler only (as --mem-profile runs)
+    Phased,      ///< phase telemetry only (as --phase runs)
     ServePlain,  ///< serving engine, no audit — the null-trace_ path
     ServeTraced  ///< serving engine with the decision audit attached
 };
@@ -397,6 +400,7 @@ simulateOnce(const GpuConfig& config, const KernelInfo& kernel, ObsMode mode)
     std::unique_ptr<IntervalSampler> sampler;
     std::unique_ptr<CycleProfiler> profiler;
     std::unique_ptr<MemProfiler> mem_profiler;
+    std::unique_ptr<PhaseTelemetry> phase;
     Observer obs;
     if (mode == ObsMode::Observed) {
         tracer = std::make_unique<Tracer>(config.numCores,
@@ -410,6 +414,12 @@ simulateOnce(const GpuConfig& config, const KernelInfo& kernel, ObsMode mode)
     } else if (mode == ObsMode::MemProfiled) {
         mem_profiler = std::make_unique<MemProfiler>();
         obs.memProfiler = mem_profiler.get();
+    } else if (mode == ObsMode::Phased) {
+        // Phase telemetry alone: this is the --phase overhead on the
+        // always-available counters; interference channels (a
+        // MemProfiler riding along) are billed by MemProfiled above.
+        phase = std::make_unique<PhaseTelemetry>();
+        obs.phase = phase.get();
     }
     Gpu gpu(config, obs);
     gpu.launchKernel(kernel);
@@ -497,7 +507,8 @@ pairedRatio(const RateSample& num, const RateSample& den)
 /**
  * Write the `bsched-simspeed-v1` artifact: the sim rate of the small
  * kernel with no observers, with the tracer+sampler stack, with the
- * cycle-accounting profiler, and with the memory profiler, plus the
+ * cycle-accounting profiler, with the memory profiler, and with the
+ * phase telemetry, plus the
  * enabled-path overhead ratios, plus a `fast_forward` section timing
  * the idle-heavy and fully-busy microkernels with idle fast-forward on
  * and off. CI's perf-smoke step compares a fresh artifact against the
@@ -523,7 +534,7 @@ writeSimspeedJson(const std::string& path)
     const KernelInfo idle_kernel = idleHeavyKernel();
     const KernelInfo busy_kernel = busyKernel();
 
-    // All ten points in ONE interleaved trial schedule, so every
+    // All eleven points in ONE interleaved trial schedule, so every
     // gated ratio (observer overheads, serve-audit overhead,
     // fast-forward speedups) divides measurements taken moments apart.
     const std::vector<RatePoint> points = {
@@ -531,6 +542,7 @@ writeSimspeedJson(const std::string& path)
         {&config, &kernel, ObsMode::Observed},
         {&config, &kernel, ObsMode::Profiled},
         {&config, &kernel, ObsMode::MemProfiled},
+        {&config, &kernel, ObsMode::Phased},
         {&ff_on_cfg, &idle_kernel, ObsMode::Plain},
         {&ff_off_cfg, &idle_kernel, ObsMode::Plain},
         {&ff_on_cfg, &busy_kernel, ObsMode::Plain},
@@ -543,12 +555,13 @@ writeSimspeedJson(const std::string& path)
     const RateSample& observed = samples[1];
     const RateSample& profiled = samples[2];
     const RateSample& mem_profiled = samples[3];
-    const RateSample& idle_on = samples[4];
-    const RateSample& idle_off = samples[5];
-    const RateSample& busy_on = samples[6];
-    const RateSample& busy_off = samples[7];
-    const RateSample& serve_plain = samples[8];
-    const RateSample& serve_traced = samples[9];
+    const RateSample& phased = samples[4];
+    const RateSample& idle_on = samples[5];
+    const RateSample& idle_off = samples[6];
+    const RateSample& busy_on = samples[7];
+    const RateSample& busy_off = samples[8];
+    const RateSample& serve_plain = samples[9];
+    const RateSample& serve_traced = samples[10];
 
     auto mode_json = [](std::ostream& os, const char* name,
                         const RateSample& s, bool last) {
@@ -580,6 +593,7 @@ writeSimspeedJson(const std::string& path)
         mode_json(os, "observed", observed, false);
         mode_json(os, "profiled", profiled, false);
         mode_json(os, "memprofiled", mem_profiled, false);
+        mode_json(os, "phased", phased, false);
         mode_json(os, "serve_plain", serve_plain, false);
         mode_json(os, "servetraced", serve_traced, true);
         os << "  },\n  \"relative_rate\": {\"observed_vs_plain\": "
@@ -587,6 +601,8 @@ writeSimspeedJson(const std::string& path)
            << jsonNumber(ratio(profiled))
            << ", \"memprofiled_vs_plain\": "
            << jsonNumber(ratio(mem_profiled))
+           << ", \"phase_vs_plain\": "
+           << jsonNumber(ratio(phased))
            << ", \"servetraced_vs_plain\": "
            << jsonNumber(pairedRatio(serve_traced, serve_plain)) << "},\n"
            << "  \"fast_forward\": {\n";

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/mem_profile.hh"
+#include "obs/phase/phase.hh"
 #include "obs/profile.hh"
 #include "obs/sampler.hh"
 #include "obs/trace.hh"
@@ -43,6 +44,8 @@ Gpu::Gpu(const GpuConfig& config, Observer obs)
             part->setMemProfiler(obs_.memProfiler);
         icnt_.setMemProfiler(obs_.memProfiler);
     }
+    if (obs_.phase != nullptr)
+        obs_.phase->onAttach(config_.numCores, obs_.tracer);
 }
 
 int
@@ -287,6 +290,10 @@ Gpu::stepCycle()
     ctaSched_->tick(now, kernels_, cores_);
     did_work |= ctaSched_->dispatches() != dispatches_before;
 
+    // Phase windows close before the sample is taken, so the sampled
+    // phase gauges always reflect every window up to `now`.
+    if (obs_.phase != nullptr && obs_.phase->due(now))
+        closePhaseWindow(now);
     if (obs_.sampler != nullptr && obs_.sampler->due(now))
         collectSample(now);
 
@@ -317,6 +324,10 @@ Gpu::fastForward()
         next = std::min(next, part->nextEventCycle(now));
     if (obs_.sampler != nullptr)
         next = std::min(next, obs_.sampler->nextDue());
+    // Phase-window boundaries are fenced exactly like sampler cycles:
+    // windows close on the same cycles whether or not spans are elided.
+    if (obs_.phase != nullptr)
+        next = std::min(next, obs_.phase->nextDue());
     // External fence (serving engine): an outside agent acts at this
     // cycle, so the quiet span may not be elided past it.
     next = std::min(next, externalEvent_);
@@ -394,6 +405,10 @@ Gpu::run()
 void
 Gpu::finalizeSample()
 {
+    // Tie off the partial final phase window first so the closing
+    // sample's phase gauges include it.
+    if (obs_.phase != nullptr && obs_.phase->finalPending(cycle_))
+        closePhaseWindow(cycle_);
     if (obs_.sampler != nullptr &&
         (obs_.sampler->cycles().empty() ||
          obs_.sampler->cycles().back() != cycle_)) {
@@ -469,10 +484,71 @@ Gpu::collectSample(Cycle now)
     s.record("dram.row_conflict", static_cast<double>(row_conflict),
              SeriesKind::Counter);
 
+    // Phase-telemetry gauges ride the same fenced sample cycles; the
+    // series set is fixed per run because attachment never changes
+    // mid-run.
+    if (obs_.phase != nullptr) {
+        s.record("phase.current", obs_.phase->currentPhaseGauge(),
+                 SeriesKind::Gauge);
+        s.record("phase.count", obs_.phase->phaseCountGauge(),
+                 SeriesKind::Gauge);
+    }
+
     // External series (e.g. serving-engine gauges) land on the same
     // fenced sample cycle as the built-in ones.
     if (obs_.sampleSource != nullptr)
         obs_.sampleSource->recordSample(s, now);
+}
+
+void
+Gpu::closePhaseWindow(Cycle now)
+{
+    PhaseSnapshot snap;
+    snap.coreInstrs.reserve(cores_.size());
+    snap.coreIssue.reserve(cores_.size());
+    snap.coreStallMem.reserve(cores_.size());
+    snap.coreStallIdle.reserve(cores_.size());
+    for (const auto& core : cores_) {
+        const std::uint64_t instrs = core->instrsIssued();
+        const std::uint64_t issue = core->issueCycles();
+        const std::uint64_t stall_mem = core->memStallCycles();
+        const std::uint64_t stall_idle = core->idleStallCycles();
+        snap.instrs += instrs;
+        snap.issueCycles += issue;
+        snap.stallMem += stall_mem;
+        snap.stallIdle += stall_idle;
+        snap.l1Access += core->ldst().l1().accesses();
+        snap.l1Miss += core->ldst().l1().misses();
+        snap.coreInstrs.push_back(instrs);
+        snap.coreIssue.push_back(issue);
+        snap.coreStallMem.push_back(stall_mem);
+        snap.coreStallIdle.push_back(stall_idle);
+    }
+    for (const auto& part : partitions_) {
+        snap.l2Access += part->l2().accesses();
+        snap.l2Miss += part->l2().misses();
+        snap.rowHit += part->dram().rowHits();
+        snap.rowMiss += part->dram().rowMisses();
+        snap.rowConflict += part->dram().rowConflicts();
+    }
+    snap.kernelInstrs.reserve(kernels_.size());
+    for (const KernelInstance& kernel : kernels_)
+        snap.kernelInstrs.push_back(kernelInstrsIssued(kernel.id));
+    // Interference channels ride along only when the memory profiler is
+    // also attached; the detectors never read them, so detected phase
+    // boundaries are identical with or without this section.
+    if (obs_.memProfiler != nullptr) {
+        snap.hasInterference = true;
+        snap.l1CrossCta =
+            obs_.memProfiler->interference(MemLevel::L1).crossCtaEvictions;
+        snap.l2CrossCta =
+            obs_.memProfiler->interference(MemLevel::L2).crossCtaEvictions;
+        snap.dramQueueCycles = obs_.memProfiler->total()
+            .stages[static_cast<std::size_t>(MemStage::DramQueue)].sum();
+        snap.l2MshrOccCycles = obs_.memProfiler->interference(MemLevel::L2)
+            .mshrOccupancy.sum();
+    }
+    obs_.phase->closeWindow(now, snap);
 }
 
 const KernelInstance&

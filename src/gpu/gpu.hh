@@ -166,6 +166,10 @@ class Gpu
     /** Snapshot the sampled counter set into the interval sampler. */
     void collectSample(Cycle now);
 
+    /** Snapshot the cumulative counter set and close the phase-telemetry
+     *  window ending at @p now (only called with obs_.phase attached). */
+    void closePhaseWindow(Cycle now);
+
     /** Account a drain that reached zero residency at @p now. */
     void noteDrainComplete(int kernel_id, Cycle now, Cycle latency);
 

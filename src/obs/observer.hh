@@ -17,6 +17,7 @@ class Tracer;
 class IntervalSampler;
 class CycleProfiler;
 class MemProfiler;
+class PhaseTelemetry;
 
 /**
  * Extra per-interval series provider. A layer sitting *above* the Gpu
@@ -39,11 +40,13 @@ struct Observer
     CycleProfiler* profiler = nullptr;
     MemProfiler* memProfiler = nullptr;
     SampleSource* sampleSource = nullptr;
+    PhaseTelemetry* phase = nullptr;
 
     bool enabled() const
     {
         return tracer != nullptr || sampler != nullptr ||
-            profiler != nullptr || memProfiler != nullptr;
+            profiler != nullptr || memProfiler != nullptr ||
+            phase != nullptr;
     }
 };
 

@@ -45,6 +45,8 @@ toString(TraceEventKind kind)
         return "serve.running";
       case TraceEventKind::ServeDrainVictim:
         return "serve.drain_victim";
+      case TraceEventKind::PhaseChange:
+        return "phase.change";
     }
     panic("unknown TraceEventKind");
 }

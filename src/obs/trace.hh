@@ -48,6 +48,8 @@ enum class TraceEventKind : std::uint8_t
     ServeDispatching,///< tenant track; span admit→1st CTA; arg0 = seq
     ServeRunning,    ///< tenant track; span 1st CTA→finish; arg0 = seq
     ServeDrainVictim,///< tenant track; arg0 = victim kernel id
+    PhaseChange,     ///< phase track; arg0 = new phase index, arg1 =
+                     ///< core id (-1 = machine/kernel scope)
 };
 
 /** Stable event-kind name used in exported JSON ("cta.dispatch", ...). */

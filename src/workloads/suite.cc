@@ -454,6 +454,71 @@ makeMummer(int slot)
     return k;
 }
 
+/**
+ * Phase-shifting composite: a compute-bound prologue (SFU-throttled
+ * lavamd-style loop over a 1KB per-CTA tile that stays L1-resident
+ * even at full occupancy) followed by a cache-thrashing epilogue
+ * (8KB per-CTA tile — six resident CTAs thrash the 16KB L1,
+ * kmeans-style). One wave of 90 CTAs (6 per core on 15 cores) with
+ * zero trip jitter. The SFU in the prologue keeps machine IPC below
+ * the issue cap, which matters for detection: warps trickle into the
+ * epilogue under GTO, and with headroom the machine IPC tracks the
+ * compute/thrash mix continuously instead of sitting pinned at the
+ * cap until the last compute warp drains — so the detector's IPC
+ * channel and the E17 interference counters move together through
+ * the transition (the E20 cross-validation). The halves are exported
+ * standalone (makePhasedPrologue / makePhasedEpilogue) so per-regime
+ * static optima can be measured against the composite's one-shot
+ * CTA-limit choice.
+ */
+KernelInfo
+phasedShell(const char* name)
+{
+    KernelInfo k;
+    k.name = name;
+    k.grid = {90, 1, 1};
+    k.cta = {256, 1, 1};
+    k.regsPerThread = 20;
+    k.typeClass = WorkloadType::Peaked;
+    return k;
+}
+
+void
+buildPhasedPrologue(ProgramBuilder& b, int slot)
+{
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = region(slot);
+    tile.footprintBytes = 1024;
+    const auto t = b.pattern(tile);
+    // 3 SFU per 5 instructions: the single SFU port caps core IPC at
+    // 5/3 against an issue width of 2, so the compute regime runs
+    // below the issue cap (see the composite's doc comment).
+    b.loop(96).sfu(2).load(t).sfu(1).alu(1).endLoop();
+}
+
+void
+buildPhasedEpilogue(ProgramBuilder& b, int slot)
+{
+    MemPattern tile;
+    tile.kind = AccessKind::CtaTile;
+    tile.base = region(slot) + (1 << 24);
+    tile.footprintBytes = 8 * 1024;
+    const auto t = b.pattern(tile);
+    b.loop(64).load(t).alu(2).load(t).alu(2).endLoop();
+}
+
+KernelInfo
+makePhased(int slot)
+{
+    KernelInfo k = phasedShell("phased");
+    ProgramBuilder b;
+    buildPhasedPrologue(b, slot);
+    buildPhasedEpilogue(b, slot);
+    k.program = b.build();
+    return k;
+}
+
 struct Entry
 {
     std::function<KernelInfo(int)> make;
@@ -492,8 +557,22 @@ registry()
             "8-line strided value fetch; BW-amplified"}},
         {"mummer", {makeMummer,
             "divergent 2MB random walk; latency-bound"}},
+        {"phased", {makePhased,
+            "compute prologue into cache-thrash epilogue; phase target"}},
     };
     return reg;
+}
+
+/** Registry slot (address-region id) of workload @p name. */
+int
+slotOf(const std::string& name)
+{
+    const auto& reg = registry();
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+        if (reg[i].first == name)
+            return static_cast<int>(i) + 1;
+    }
+    fatal("unknown workload: ", name);
 }
 
 } // namespace
@@ -534,6 +613,28 @@ std::vector<std::string>
 localityWorkloadNames()
 {
     return {"hs", "srad", "pf", "nw"};
+}
+
+KernelInfo
+makePhasedPrologue()
+{
+    KernelInfo k = phasedShell("phased_pro");
+    ProgramBuilder b;
+    buildPhasedPrologue(b, slotOf("phased"));
+    k.program = b.build();
+    k.validate();
+    return k;
+}
+
+KernelInfo
+makePhasedEpilogue()
+{
+    KernelInfo k = phasedShell("phased_epi");
+    ProgramBuilder b;
+    buildPhasedEpilogue(b, slotOf("phased"));
+    k.program = b.build();
+    k.validate();
+    return k;
 }
 
 std::string

@@ -36,6 +36,16 @@ std::vector<KernelInfo> makeSuite();
 /** Workloads with inter-CTA locality (the BCS/E9/E10 subset). */
 std::vector<std::string> localityWorkloadNames();
 
+/**
+ * The two halves of the "phased" composite as standalone kernels
+ * (same resources, same address regions): the compute-bound prologue
+ * and the cache-thrashing epilogue. fig_phase measures each regime's
+ * static CTA-limit optimum separately and compares against the single
+ * limit a one-shot sweep picks for the composite (E20).
+ */
+KernelInfo makePhasedPrologue();
+KernelInfo makePhasedEpilogue();
+
 /** One-line description of a workload (fatal() on unknown names). */
 std::string workloadNotes(const std::string& name);
 

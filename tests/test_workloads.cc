@@ -14,10 +14,10 @@
 namespace bsched {
 namespace {
 
-TEST(Workloads, SuiteHasFourteenDistinctKernels)
+TEST(Workloads, SuiteHasFifteenDistinctKernels)
 {
     const auto names = workloadNames();
-    EXPECT_EQ(names.size(), 14u);
+    EXPECT_EQ(names.size(), 15u);
     const std::set<std::string> unique(names.begin(), names.end());
     EXPECT_EQ(unique.size(), names.size());
 }

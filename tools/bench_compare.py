@@ -16,7 +16,8 @@ schema and prints a per-metric delta table. Two schemas are understood:
     *current* artifact must meet machine-independent budget floors:
     ``relative_rate.profiled_vs_plain >= 0.85`` (profiling overhead),
     ``relative_rate.servetraced_vs_plain >= 0.9`` (serving decision
-    audit overhead), ``fast_forward.idle_heavy.speedup >= 3.0`` (idle
+    audit overhead), ``relative_rate.phase_vs_plain >= 0.9`` (phase
+    telemetry overhead), ``fast_forward.idle_heavy.speedup >= 3.0`` (idle
     fast-forward must pay off) and ``fast_forward.busy.speedup >= 0.9``
     (and must not tax busy runs). Budget violations are hard failures
     regardless of ``--tolerance``.
@@ -49,6 +50,14 @@ schema and prints a per-metric delta table. Two schemas are understood:
     match exactly; the predictor's mean absolute error is compared
     relatively.
 
+``bsched-phase-v1``
+    Phase-telemetry artifact from any bench binary's ``--phase``.
+    Window counts, detected phase counts and every phase boundary
+    (start window) must match the baseline exactly — the telemetry is
+    a pure observer of a bit-deterministic run, so a moved boundary is
+    a model or detector change; windowed series values and phase means
+    are compared relatively at the tolerance.
+
 Exit status: 0 when the artifacts match within tolerance (or
 ``--warn-only`` was given), 1 when at least one metric regressed or a
 budget floor was missed, 2 on usage/schema errors. With ``--github``,
@@ -70,7 +79,8 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from analyze.annotations import emit_annotation  # noqa: E402
 
 KNOWN_SCHEMAS = ("bsched-simspeed-v1", "bsched-bench-v1",
-                 "bsched-serving-v1", "bsched-servetrace-v1")
+                 "bsched-serving-v1", "bsched-servetrace-v1",
+                 "bsched-phase-v1")
 
 
 def usage_error(message: str) -> None:
@@ -212,6 +222,8 @@ def compare_simspeed(base: dict, cur: dict, cmp: Comparison) -> None:
                cur_rel.get("profiled_vs_plain"))
     cmp.budget("relative_rate.servetraced_vs_plain", 0.9,
                cur_rel.get("servetraced_vs_plain"))
+    cmp.budget("relative_rate.phase_vs_plain", 0.9,
+               cur_rel.get("phase_vs_plain"))
     cmp.budget("fast_forward.idle_heavy.speedup", 3.0,
                cur_ff.get("idle_heavy", {}).get("speedup"))
     cmp.budget("fast_forward.busy.speedup", 0.9,
@@ -364,6 +376,73 @@ def compare_servetrace(base: dict, cur: dict, cmp: Comparison) -> None:
             cmp.note(f"run '{key}' only in current artifact")
 
 
+def compare_phase(base: dict, cur: dict, cmp: Comparison) -> None:
+    """Judge two ``bsched-phase-v1`` phase-telemetry artifacts.
+
+    The telemetry is pure observation of a bit-deterministic run, so
+    structure must match exactly: window count, per-scope phase counts
+    and every phase boundary. Series values and phase means are judged
+    relatively — they shift legitimately when the timing model changes,
+    and the boundary checks catch detector drift. The CI byte-gate
+    (cmp against the committed baseline) already pins exact values.
+    """
+    for field in ("window_cycles", "hysteresis"):
+        bval = base.get("config", {}).get(field)
+        cval = cur.get("config", {}).get(field)
+        if bval is not None and cval is not None:
+            cmp.compare_exact(f"config.{field}", bval, cval)
+    cmp.compare_exact("windows", base.get("windows", 0),
+                      cur.get("windows", 0))
+
+    base_series = base.get("series", {})
+    cur_series = cur.get("series", {})
+    for name, bvals in base_series.items():
+        cvals = cur_series.get(name)
+        if cvals is None:
+            cmp.note(f"series '{name}' missing from current artifact")
+            continue
+        if len(bvals) != len(cvals):
+            cmp.note(f"series '{name}' changed arity "
+                     f"({len(bvals)} -> {len(cvals)})")
+            continue
+        for w, (bval, cval) in enumerate(zip(bvals, cvals)):
+            cmp.compare(f"series.{name}[{w}]", bval, cval)
+    for name in cur_series:
+        if name not in base_series:
+            cmp.note(f"series '{name}' only in current artifact")
+
+    def compare_scope(key: str, bscope: dict, cscope: dict) -> None:
+        cmp.compare_exact(f"{key}.phase_count",
+                          bscope.get("phase_count", 0),
+                          cscope.get("phase_count", 0))
+        bphases = bscope.get("phases", [])
+        cphases = cscope.get("phases", [])
+        for p, (bph, cph) in enumerate(zip(bphases, cphases)):
+            cmp.compare_exact(f"{key}.phases[{p}].start_window",
+                              bph.get("start_window", 0),
+                              cph.get("start_window", 0))
+            cmean = cph.get("mean", {})
+            for channel, bval in bph.get("mean", {}).items():
+                if channel in cmean:
+                    cmp.compare(f"{key}.phases[{p}].mean.{channel}",
+                                bval, cmean[channel])
+
+    compare_scope("machine", base.get("machine", {}),
+                  cur.get("machine", {}))
+    for bscope, cscope in zip(base.get("cores", []), cur.get("cores", [])):
+        compare_scope(f"cores[{bscope.get('core')}]", bscope, cscope)
+    for bscope, cscope in zip(base.get("kernels", []),
+                              cur.get("kernels", [])):
+        compare_scope(f"kernels[{bscope.get('kernel')}]", bscope, cscope)
+    if len(base.get("cores", [])) != len(cur.get("cores", [])):
+        cmp.note(f"core-scope arity changed ({len(base.get('cores', []))}"
+                 f" -> {len(cur.get('cores', []))})")
+    if len(base.get("kernels", [])) != len(cur.get("kernels", [])):
+        cmp.note(f"kernel-scope arity changed "
+                 f"({len(base.get('kernels', []))}"
+                 f" -> {len(cur.get('kernels', []))})")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(
         description="diff two bsched benchmark artifacts, flag regressions"
@@ -404,6 +483,8 @@ def main() -> int:
         compare_serving(base, cur, cmp)
     elif base["schema"] == "bsched-servetrace-v1":
         compare_servetrace(base, cur, cmp)
+    elif base["schema"] == "bsched-phase-v1":
+        compare_phase(base, cur, cmp)
     else:
         compare_bench(base, cur, cmp)
 
